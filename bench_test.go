@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchOptions is a reduced sweep so `go test -bench=.` completes in
+// minutes; use cmd/legate-bench or cmd/figures for the full ladders.
+func benchOptions() bench.Options {
+	opt := bench.SmallOptions()
+	opt.GPUCounts = []int{1, 3, 6}
+	opt.CPUCounts = []int{1, 2, 4}
+	opt.Runs = 1
+	opt.Iters = 3
+	return opt
+}
+
+// BenchmarkFig8SpMV regenerates the SpMV microbenchmark weak-scaling
+// figure (paper Figure 8).
+func BenchmarkFig8SpMV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig8SpMV(benchOptions())
+		if i == 0 {
+			b.Log("\n" + fig.FormatFigure())
+		}
+	}
+}
+
+// BenchmarkFig9CG regenerates the conjugate gradient weak-scaling
+// figure (paper Figure 9).
+func BenchmarkFig9CG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig9CG(benchOptions())
+		if i == 0 {
+			b.Log("\n" + fig.FormatFigure())
+		}
+	}
+}
+
+// BenchmarkFig10GMG regenerates the geometric multigrid weak-scaling
+// figure (paper Figure 10).
+func BenchmarkFig10GMG(b *testing.B) {
+	opt := benchOptions()
+	opt.UnitsPerProc = 1 << 10 // the GMG driver multiplies units by 8
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig10GMG(opt)
+		if i == 0 {
+			b.Log("\n" + fig.FormatFigure())
+		}
+	}
+}
+
+// BenchmarkFig11Quantum regenerates the quantum simulation weak-scaling
+// figure (paper Figure 11).
+func BenchmarkFig11Quantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig11Quantum(benchOptions())
+		if i == 0 {
+			b.Log("\n" + fig.FormatFigure())
+		}
+	}
+}
+
+// BenchmarkFig12MF regenerates the sparse matrix factorization table
+// (paper Figure 12).
+func BenchmarkFig12MF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := bench.Fig12MF(benchOptions())
+		if i == 0 {
+			b.Log("\n" + tab.FormatTable())
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command legate-bench runs the paper-reproduction experiments: the
+// weak-scaling figures (SpMV, CG, GMG, quantum) and the matrix
+// factorization table of Legate Sparse's evaluation (§6).
+//
+// Usage:
+//
+//	legate-bench -exp spmv|cg|gmg|quantum|mf|all [-preset small|paper]
+//	             [-units N] [-iters N] [-runs N] [-mfscale N]
+//
+// Each experiment prints the same rows/series the paper's figure or
+// table reports, measured in simulated time on the synthetic machine
+// model (see DESIGN.md for the calibration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: spmv, cg, gmg, quantum, mf, ablation, or all")
+	preset := flag.String("preset", "small", "option preset: small or paper")
+	units := flag.Int64("units", 0, "override units (rows/dimensions) per processor")
+	iters := flag.Int("iters", 0, "override timed iterations per run")
+	runs := flag.Int("runs", 0, "override repetitions per configuration")
+	mfscale := flag.Int64("mfscale", 0, "override MovieLens dataset scale divisor")
+	flag.Parse()
+
+	var opt bench.Options
+	switch *preset {
+	case "small":
+		opt = bench.SmallOptions()
+	case "paper":
+		opt = bench.PaperOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	if *units > 0 {
+		opt.UnitsPerProc = *units
+	}
+	if *iters > 0 {
+		opt.Iters = *iters
+	}
+	if *runs > 0 {
+		opt.Runs = *runs
+	}
+	if *mfscale > 0 {
+		opt.MFScale = *mfscale
+	}
+
+	run := func(name string, fig func(bench.Options) *bench.Figure) {
+		t0 := time.Now()
+		f := fig(opt)
+		fmt.Printf("%s\n(generated in %v)\n\n", f.FormatFigure(), time.Since(t0).Round(time.Millisecond))
+	}
+	runMF := func() {
+		t0 := time.Now()
+		tab := bench.Fig12MF(opt)
+		fmt.Printf("%s\n(generated in %v)\n\n", tab.FormatTable(), time.Since(t0).Round(time.Millisecond))
+	}
+
+	runAblations := func() {
+		for _, ab := range []func(bench.Options) bench.AblationResult{
+			bench.AblationCoalescing,
+			bench.AblationTracing,
+			bench.AblationAnalysisScaling,
+		} {
+			t0 := time.Now()
+			res := ab(opt)
+			fmt.Printf("%s\n  %s\n  with: %.3f   without: %.3f\n(generated in %v)\n\n",
+				res.Name, res.Metric, res.With, res.Without, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+
+	switch *exp {
+	case "spmv":
+		run("fig8", bench.Fig8SpMV)
+	case "cg":
+		run("fig9", bench.Fig9CG)
+	case "gmg":
+		run("fig10", bench.Fig10GMG)
+	case "quantum":
+		run("fig11", bench.Fig11Quantum)
+	case "mf":
+		runMF()
+	case "ablation":
+		runAblations()
+	case "all":
+		run("fig8", bench.Fig8SpMV)
+		run("fig9", bench.Fig9CG)
+		run("fig10", bench.Fig10GMG)
+		run("fig11", bench.Fig11Quantum)
+		runMF()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

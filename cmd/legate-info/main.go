@@ -1,0 +1,42 @@
+// Command legate-info prints the library's inventory: the simulated
+// machine shape, the DISTAL-generated kernel variants available for
+// dynamic dispatch, the SciPy Sparse API coverage in the taxonomy of
+// the paper's §5, and the ablation toggles.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/distal"
+	"repro/internal/machine"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1, "nodes of the simulated machine to describe")
+	flag.Parse()
+
+	m := machine.Summit(*nodes)
+	fmt.Printf("Simulated machine: %d node(s), %d CPU sockets, %d GPUs\n",
+		m.Nodes, m.CountKind(machine.CPU), m.CountKind(machine.GPU))
+	cost := machine.LegateCost()
+	fmt.Printf("  GPU sparse rate %.2e elem/s, CPU %.2e; NVLink %.0f GB/s, IB %.1f GB/s\n",
+		cost.Rate[machine.GPU][machine.SparseIter], cost.Rate[machine.CPU][machine.SparseIter],
+		cost.Bandwidth[machine.NVLink]/1e9, cost.Bandwidth[machine.InterNode]/1e9)
+	fmt.Printf("  Legate launch overhead %v (+%v/point); PETSc %v; CuPy %v\n\n",
+		cost.LaunchOverhead, cost.AnalysisPerPoint,
+		machine.PETScCost().LaunchOverhead, machine.CuPyCost().LaunchOverhead)
+
+	fmt.Println("DISTAL-generated kernel variants (op/format/target):")
+	for _, k := range distal.Standard.Keys() {
+		fmt.Printf("  %s\n", k)
+	}
+
+	counts := core.CoverageCounts()
+	fmt.Printf("\nSciPy Sparse API coverage (§5 taxonomy): %d generated, %d ported, %d hand-written\n",
+		counts[core.Generated], counts[core.Ported], counts[core.HandWritten])
+	for _, e := range core.Coverage() {
+		fmt.Printf("  %-45s %-18s %s\n", e.Name, e.Formats, e.Kind)
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Legate Sparse:
+// Distributed Sparse Computing in Python" (Yadav et al., SC '23):
+// a distributed SciPy-Sparse-style library built on a Legion-like
+// task-based runtime, composing with a cuNumeric-like dense array
+// library through constraint-based partitioning, DISTAL-style generated
+// kernels, and a composable mapper — all executing on a simulated
+// heterogeneous machine so the paper's weak-scaling evaluation can be
+// regenerated without a supercomputer.
+//
+// See DESIGN.md for the system inventory and the substitutions made for
+// unavailable hardware, EXPERIMENTS.md for the paper-vs-measured record
+// of every figure and table, and the examples/ directory for runnable
+// programs. The top-level benchmarks (bench_test.go) regenerate each of
+// the paper's figures at test scale:
+//
+//	go test -bench=. -benchmem .
+package repro

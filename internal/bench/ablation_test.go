@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestAblationCoalescing: disabling the mapper's allocation coalescing
+// and reuse machinery must make the power-iteration loop's steady-state
+// data movement much larger — §4.3's recurring full vector copy.
+func TestAblationCoalescing(t *testing.T) {
+	res := AblationCoalescing(tinyOptions())
+	if res.Without <= res.With {
+		t.Fatalf("without coalescing movement (%v) should exceed with (%v)", res.Without, res.With)
+	}
+	if res.Without < 4*res.With {
+		t.Errorf("expected a large gap (recurring full copies): with=%v without=%v", res.With, res.Without)
+	}
+}
+
+// TestAblationTracing: tracing the GMG solve's repeated launch sequence
+// must improve single-GPU throughput (the §6.1 future-work claim).
+func TestAblationTracing(t *testing.T) {
+	opt := tinyOptions()
+	opt.UnitsPerProc = 1 << 10 // overhead-visible regime
+	res := AblationTracing(opt)
+	if res.With <= res.Without {
+		t.Fatalf("tracing should improve GMG throughput: with=%v without=%v", res.With, res.Without)
+	}
+}
+
+// TestAblationAnalysisScaling: tracing must also help the quantum
+// workload at the largest processor count, where per-point analysis
+// grows with the launch domain.
+func TestAblationAnalysisScaling(t *testing.T) {
+	opt := tinyOptions()
+	res := AblationAnalysisScaling(opt)
+	if res.With <= res.Without {
+		t.Fatalf("tracing should improve scaled quantum throughput: with=%v without=%v",
+			res.With, res.Without)
+	}
+}

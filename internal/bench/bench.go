@@ -1,0 +1,207 @@
+// Package bench regenerates every figure and table of the paper's
+// evaluation (§6): the SpMV microbenchmark (Figure 8), the conjugate
+// gradient solver (Figure 9), the geometric multigrid solver
+// (Figure 10), the quantum simulation (Figure 11), and the sparse
+// matrix factorization table (Figure 12).
+//
+// Each experiment weak-scales a workload across simulated processor
+// counts and reports throughput in iterations (or samples) per second
+// of *simulated* time. Following §6's protocol, each configuration is
+// run several times, the fastest and slowest runs are dropped, and the
+// rest are averaged (the simulation is deterministic, so the spread is
+// zero, but the protocol is kept for fidelity). The compared systems:
+//
+//	Legate-GPU / Legate-CPU — this library on the Legion-like runtime
+//	SciPy                   — 1 CPU with single-thread rates and tiny overheads
+//	CuPy (1 GPU)            — 1 GPU, low overheads, full framebuffer
+//	PETSc-GPU / PETSc-CPU   — the explicitly-parallel rank-local baseline
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/legion"
+	"repro/internal/machine"
+)
+
+// Point is one measurement of a weak-scaling series.
+type Point struct {
+	Procs      int     // processors (sockets or GPUs)
+	Throughput float64 // iterations or samples per simulated second
+	Note       string  // e.g. "OOM"
+}
+
+// Series is one system's curve in a figure.
+type Series struct {
+	System string
+	Points []Point
+}
+
+// Figure is a full reproduction of one of the paper's plots.
+type Figure struct {
+	Name   string // "fig8", ...
+	Title  string
+	Metric string
+	Series []Series
+}
+
+// Options controls experiment scale. Defaults (SmallOptions) finish in
+// seconds for tests; PaperOptions runs the larger sweeps used to
+// populate EXPERIMENTS.md.
+type Options struct {
+	// GPUCounts and CPUCounts are the weak-scaling processor sweeps.
+	// The paper's x-axis pairs 1 socket with 3 GPUs; we sweep each kind
+	// independently at the same point count.
+	GPUCounts []int
+	CPUCounts []int
+	// UnitsPerProc is the problem size per processor (matrix rows for
+	// SpMV/CG/GMG, Hilbert-space dimension for the quantum benchmark).
+	UnitsPerProc int64
+	// Iters is the number of timed iterations per run.
+	Iters int
+	// Runs is the number of repetitions (min/max dropped, rest averaged).
+	Runs int
+	// MFScale divides the MovieLens dataset sizes (and the modeled GPU
+	// capacity) in the Figure 12 experiment.
+	MFScale int64
+	// MFEpochBatches bounds the number of timed batches per dataset.
+	MFEpochBatches int
+
+	// OverheadScale multiplies every runtime overhead (task launch,
+	// per-point, all-reduce, link latency) for all systems equally.
+	// The benchmark problems here are orders of magnitude smaller than
+	// the paper's Summit runs (a V100 SpMV tile was tens of megabytes);
+	// shrinking the problem without shrinking the fixed overheads would
+	// put every experiment in the overhead-dominated regime. Scaling
+	// both preserves the kernel-to-overhead ratios the paper's effects
+	// depend on. Systems keep their *relative* overheads (Legate ≫
+	// PETSc/CuPy), so the comparisons are unchanged.
+	OverheadScale float64
+	// MFOverheadScale is the same knob for the Figure 12 experiment,
+	// whose workload (small batched tasks) sits much closer to the
+	// overhead-bound regime than the solver benchmarks.
+	MFOverheadScale float64
+	// SDDMMPenalty divides CuPy's Compute-class rate to model
+	// cuSPARSE's SDDMM being far less efficient than the
+	// DISTAL-generated kernel (§6.2).
+	SDDMMPenalty float64
+}
+
+// scaled returns cost with all fixed overheads multiplied by f.
+func scaled(cost machine.CostModel, f float64) machine.CostModel {
+	if f <= 0 {
+		f = 1
+	}
+	cost.LaunchOverhead = time.Duration(float64(cost.LaunchOverhead) * f)
+	cost.AnalysisPerPoint = time.Duration(float64(cost.AnalysisPerPoint) * f)
+	cost.PointOverhead = time.Duration(float64(cost.PointOverhead) * f)
+	cost.AllReduceBase = time.Duration(float64(cost.AllReduceBase) * f)
+	cost.AllReducePerHop = time.Duration(float64(cost.AllReducePerHop) * f)
+	for i := range cost.Latency {
+		cost.Latency[i] = time.Duration(float64(cost.Latency[i]) * f)
+	}
+	cost.AllocStall = time.Duration(float64(cost.AllocStall) * f)
+	return cost
+}
+
+// SmallOptions returns a configuration small enough for unit tests.
+func SmallOptions() Options {
+	return Options{
+		GPUCounts:       []int{1, 3, 6, 12},
+		CPUCounts:       []int{1, 2, 4, 8},
+		UnitsPerProc:    1 << 12,
+		Iters:           4,
+		Runs:            3,
+		MFScale:         2000,
+		MFEpochBatches:  4,
+		OverheadScale:   1.0 / 64,
+		MFOverheadScale: 1.0 / 16,
+		SDDMMPenalty:    24,
+	}
+}
+
+// PaperOptions returns the sweep used to generate EXPERIMENTS.md:
+// the paper's full 1/1 → 64/192 ladder (sockets/GPUs).
+func PaperOptions() Options {
+	return Options{
+		GPUCounts:       []int{1, 3, 6, 12, 24, 48, 96, 192},
+		CPUCounts:       []int{1, 2, 4, 8, 16, 32, 64},
+		UnitsPerProc:    1 << 12,
+		Iters:           10,
+		Runs:            3,
+		MFScale:         500,
+		MFEpochBatches:  8,
+		OverheadScale:   1.0 / 64,
+		MFOverheadScale: 1.0 / 16,
+		SDDMMPenalty:    24,
+	}
+}
+
+// protocol runs f Runs times, drops the fastest and slowest results
+// (when more than two), and returns the mean of the rest — §6's
+// measurement discipline.
+func protocol(runs int, f func() time.Duration) time.Duration {
+	if runs < 1 {
+		runs = 1
+	}
+	times := make([]time.Duration, runs)
+	for i := range times {
+		times[i] = f()
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	if runs > 2 {
+		times = times[1 : len(times)-1]
+	}
+	var sum time.Duration
+	for _, t := range times {
+		sum += t
+	}
+	return sum / time.Duration(len(times))
+}
+
+// throughput converts a duration for n iterations into iterations/sec.
+func throughput(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// legateRuntime builds a runtime of the given kind and processor count
+// with the given cost model, on a machine just big enough.
+func legateRuntime(kind machine.ProcKind, procs int, cost machine.CostModel) *legion.Runtime {
+	var m *machine.Machine
+	if kind == machine.GPU {
+		m = machine.New(machine.Config{Nodes: (procs + 5) / 6, Cost: &cost})
+	} else {
+		m = machine.New(machine.Config{Nodes: (procs + 1) / 2, Cost: &cost})
+	}
+	return legion.NewRuntime(m, m.Select(kind, procs))
+}
+
+// quantumRuntime uses 4 GPUs per node, as §6.1's quantum experiment
+// does ("we utilize 4 of the 6 GPUs on each Summit node"), which halves
+// the aggregate network bandwidth per GPU relative to the CPU runs.
+func quantumRuntime(procs int, cost machine.CostModel) *legion.Runtime {
+	m := machine.New(machine.Config{Nodes: (procs + 3) / 4, SocketsPerNode: 2, GPUsPerSocket: 2, Cost: &cost})
+	return legion.NewRuntime(m, m.Select(machine.GPU, procs))
+}
+
+// timedRun executes step Iters times after a warmup, returning the
+// simulated time of the steady state (allocations settled, partitions
+// cached — §4.3).
+func timedRun(rt *legion.Runtime, iters int, step func()) time.Duration {
+	step() // warmup into steady state
+	step()
+	rt.Fence()
+	rt.ResetMetrics()
+	for i := 0; i < iters; i++ {
+		step()
+	}
+	rt.Fence()
+	return rt.SimTime()
+}
+
+// machineLegate is a test seam returning the unscaled Legate cost model.
+func machineLegate() machine.CostModel { return machine.LegateCost() }

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProtocolDropsExtremes(t *testing.T) {
+	vals := []time.Duration{10, 100, 20, 30, 1000}
+	i := 0
+	got := protocol(5, func() time.Duration { v := vals[i]; i++; return v })
+	// Drop 10 and 1000; mean of 100, 20, 30 = 50.
+	if got != 50 {
+		t.Fatalf("protocol mean = %v, want 50", got)
+	}
+	// Single-run protocol returns the run itself.
+	if got := protocol(1, func() time.Duration { return 7 }); got != 7 {
+		t.Fatalf("single run = %v", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := throughput(10, time.Second); got != 10 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if got := throughput(10, 0); got != 0 {
+		t.Fatalf("zero duration throughput = %v", got)
+	}
+}
+
+func TestScaledCost(t *testing.T) {
+	base := SmallOptions()
+	_ = base
+	c := scaled(machineLegate(), 0.5)
+	if c.LaunchOverhead != machineLegate().LaunchOverhead/2 {
+		t.Fatal("LaunchOverhead not scaled")
+	}
+	if c.Latency[3] != machineLegate().Latency[3]/2 {
+		t.Fatal("Latency not scaled")
+	}
+	// Zero/negative scale means unscaled.
+	if scaled(machineLegate(), 0).LaunchOverhead != machineLegate().LaunchOverhead {
+		t.Fatal("scale 0 should be identity")
+	}
+}
+
+func TestGridForAndAtoms(t *testing.T) {
+	if gridFor(100) != 10 {
+		t.Fatalf("gridFor(100) = %d", gridFor(100))
+	}
+	if gridFor(101) != 11 {
+		t.Fatalf("gridFor(101) = %d", gridFor(101))
+	}
+	if atomsFor(2) < 1 {
+		t.Fatal("atomsFor too small")
+	}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	fig := &Figure{
+		Name:   "test",
+		Title:  "T",
+		Metric: "m",
+		Series: []Series{
+			{System: "A", Points: []Point{{Procs: 1, Throughput: 1.5}, {Procs: 2, Throughput: 3}}},
+			{System: "B", Points: []Point{{Procs: 1, Throughput: 2}}},
+		},
+	}
+	txt := fig.FormatFigure()
+	if txt == "" {
+		t.Fatal("empty format")
+	}
+	md := fig.Markdown()
+	if md == "" {
+		t.Fatal("empty markdown")
+	}
+	if fig.Find("A").Last() != 3 || fig.Find("A").First() != 1.5 {
+		t.Fatal("First/Last wrong")
+	}
+	if fig.Find("C") != nil {
+		t.Fatal("Find should return nil for missing series")
+	}
+	pcs := fig.procCounts()
+	if len(pcs) != 2 || pcs[0] != 1 || pcs[1] != 2 {
+		t.Fatalf("procCounts = %v", pcs)
+	}
+}

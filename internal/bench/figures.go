@@ -1,0 +1,443 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/petsc"
+	"repro/internal/quantum"
+	"repro/internal/seq"
+	"repro/internal/solvers"
+)
+
+// seqBanded builds the banded matrix of the SpMV microbenchmark as a
+// host CSR for the PETSc baseline.
+func seqBanded(n, band int64) *seq.CSR {
+	var r, c []int64
+	var v []float64
+	for i := int64(0); i < n; i++ {
+		lo, hi := i-band, i+band
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			r = append(r, i)
+			c = append(c, j)
+			if i == j {
+				v = append(v, float64(2*band)+1)
+			} else {
+				v = append(v, -0.5)
+			}
+		}
+	}
+	return seq.FromTriples(n, n, r, c, v)
+}
+
+// seqPoisson builds the 2-D Poisson operator as a host CSR.
+func seqPoisson(nx int64) *seq.CSR {
+	var r, c []int64
+	var v []float64
+	at := func(i, j int64) int64 { return i*nx + j }
+	for i := int64(0); i < nx; i++ {
+		for j := int64(0); j < nx; j++ {
+			row := at(i, j)
+			add := func(col int64, val float64) { r = append(r, row); c = append(c, col); v = append(v, val) }
+			if i > 0 {
+				add(at(i-1, j), -1)
+			}
+			if j > 0 {
+				add(at(i, j-1), -1)
+			}
+			add(row, 4)
+			if j < nx-1 {
+				add(at(i, j+1), -1)
+			}
+			if i < nx-1 {
+				add(at(i+1, j), -1)
+			}
+		}
+	}
+	return seq.FromTriples(nx*nx, nx*nx, r, c, v)
+}
+
+const spmvBand = 5 // half-bandwidth of the microbenchmark matrix
+
+// legateSpMVThroughput measures SpMV iterations/sec for n rows on rt.
+func legateSpMVThroughput(rt *legion.Runtime, n int64, opt Options) float64 {
+	a := core.Banded(rt, n, spmvBand, 7)
+	x := cunumeric.Full(rt, n, 1)
+	y := cunumeric.Zeros(rt, n)
+	d := protocol(opt.Runs, func() time.Duration {
+		return timedRun(rt, opt.Iters, func() { a.SpMVInto(y, x) })
+	})
+	return throughput(opt.Iters, d)
+}
+
+// petscSpMVThroughput measures the PETSc baseline on the same matrix.
+func petscSpMVThroughput(kind machine.ProcKind, procs int, n int64, opt Options) float64 {
+	cost := scaled(machine.PETScCost(), opt.OverheadScale)
+	var m *machine.Machine
+	if kind == machine.GPU {
+		m = machine.New(machine.Config{Nodes: (procs + 5) / 6, Cost: &cost})
+	} else {
+		m = machine.New(machine.Config{Nodes: (procs + 1) / 2, Cost: &cost})
+	}
+	comm := petsc.NewComm(m, m.Select(kind, procs))
+	mat := petsc.MatFromCSR(comm, seqBanded(n, spmvBand))
+	x := comm.NewVec(n)
+	x.Set(1)
+	y := comm.NewVec(n)
+	d := protocol(opt.Runs, func() time.Duration {
+		mat.Mult(x, y) // warmup
+		comm.ResetMetrics()
+		for i := 0; i < opt.Iters; i++ {
+			mat.Mult(x, y)
+		}
+		return comm.SimTime()
+	})
+	return throughput(opt.Iters, d)
+}
+
+// Fig8SpMV reproduces Figure 8: weak scaling of the SpMV
+// microbenchmark on banded matrices across all six systems.
+func Fig8SpMV(opt Options) *Figure {
+	fig := &Figure{
+		Name:   "fig8",
+		Title:  "SpMV Microbenchmark (weak scaling, banded matrix)",
+		Metric: "iterations / second",
+	}
+
+	gpuSeries := Series{System: "Legate-GPU"}
+	for _, p := range opt.GPUCounts {
+		rt := legateRuntime(machine.GPU, p, scaled(machine.LegateCost(), opt.OverheadScale))
+		gpuSeries.Points = append(gpuSeries.Points, Point{
+			Procs: p, Throughput: legateSpMVThroughput(rt, opt.UnitsPerProc*int64(p), opt)})
+		rt.Shutdown()
+	}
+	cpuSeries := Series{System: "Legate-CPU"}
+	for _, p := range opt.CPUCounts {
+		rt := legateRuntime(machine.CPU, p, scaled(machine.LegateCost(), opt.OverheadScale))
+		cpuSeries.Points = append(cpuSeries.Points, Point{
+			Procs: p, Throughput: legateSpMVThroughput(rt, opt.UnitsPerProc*int64(p), opt)})
+		rt.Shutdown()
+	}
+	// SciPy: single socket, single thread; the problem still grows with
+	// the sweep (no weak scaling possible, so throughput falls).
+	sciSeries := Series{System: "SciPy"}
+	for _, p := range opt.CPUCounts {
+		rt := legateRuntime(machine.CPU, 1, scaled(machine.SciPyCost(), opt.OverheadScale))
+		sciSeries.Points = append(sciSeries.Points, Point{
+			Procs: p, Throughput: legateSpMVThroughput(rt, opt.UnitsPerProc*int64(p), opt)})
+		rt.Shutdown()
+	}
+	// CuPy: a single GPU only (first point of the GPU sweep).
+	cupy := Series{System: "CuPy (1 GPU)"}
+	{
+		rt := legateRuntime(machine.GPU, 1, scaled(machine.CuPyCost(), opt.OverheadScale))
+		cupy.Points = append(cupy.Points, Point{
+			Procs: 1, Throughput: legateSpMVThroughput(rt, opt.UnitsPerProc, opt)})
+		rt.Shutdown()
+	}
+	petscGPU := Series{System: "PETSc-GPU"}
+	for _, p := range opt.GPUCounts {
+		petscGPU.Points = append(petscGPU.Points, Point{
+			Procs: p, Throughput: petscSpMVThroughput(machine.GPU, p, opt.UnitsPerProc*int64(p), opt)})
+	}
+	petscCPU := Series{System: "PETSc-CPU"}
+	for _, p := range opt.CPUCounts {
+		petscCPU.Points = append(petscCPU.Points, Point{
+			Procs: p, Throughput: petscSpMVThroughput(machine.CPU, p, opt.UnitsPerProc*int64(p), opt)})
+	}
+	fig.Series = []Series{gpuSeries, cupy, petscGPU, cpuSeries, sciSeries, petscCPU}
+	return fig
+}
+
+// gridFor returns the Poisson grid edge whose square is closest to the
+// target unknown count.
+func gridFor(units int64) int64 {
+	nx := int64(1)
+	for nx*nx < units {
+		nx++
+	}
+	return nx
+}
+
+const cgIters = 25
+
+// cgUnits scales the CG problem: the paper's per-socket Poisson grids
+// are large enough that a CG iteration's kernels dwarf the runtime's
+// launch overhead (Legate reaches 85% of PETSc on one GPU), so the CG
+// experiment uses 4x the base per-processor units.
+func cgUnits(opt Options) int64 { return 4 * opt.UnitsPerProc }
+
+// legateCGThroughput measures CG iterations/sec on the 2-D Poisson
+// problem with nx*nx unknowns.
+func legateCGThroughput(rt *legion.Runtime, nx int64, opt Options) float64 {
+	a := core.Poisson2D(rt, nx)
+	b := cunumeric.Full(rt, nx*nx, 1)
+	d := protocol(opt.Runs, func() time.Duration {
+		res := solvers.CG(a, b, 2, 0) // warmup
+		res.X.Destroy()
+		rt.Fence()
+		rt.ResetMetrics()
+		res = solvers.CG(a, b, cgIters, 0)
+		res.X.Destroy()
+		rt.Fence()
+		return rt.SimTime()
+	})
+	return throughput(cgIters, d)
+}
+
+// Fig9CG reproduces Figure 9: weak scaling of a conjugate gradient
+// solver on the 2-D Poisson problem.
+func Fig9CG(opt Options) *Figure {
+	fig := &Figure{
+		Name:   "fig9",
+		Title:  "Conjugate Gradient Solver (weak scaling, 2-D Poisson)",
+		Metric: "iterations / second",
+	}
+	gpuSeries := Series{System: "Legate-GPU"}
+	for _, p := range opt.GPUCounts {
+		rt := legateRuntime(machine.GPU, p, scaled(machine.LegateCost(), opt.OverheadScale))
+		gpuSeries.Points = append(gpuSeries.Points, Point{
+			Procs: p, Throughput: legateCGThroughput(rt, gridFor(cgUnits(opt)*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	cpuSeries := Series{System: "Legate-CPU"}
+	for _, p := range opt.CPUCounts {
+		rt := legateRuntime(machine.CPU, p, scaled(machine.LegateCost(), opt.OverheadScale))
+		cpuSeries.Points = append(cpuSeries.Points, Point{
+			Procs: p, Throughput: legateCGThroughput(rt, gridFor(cgUnits(opt)*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	sciSeries := Series{System: "SciPy"}
+	for _, p := range opt.CPUCounts {
+		rt := legateRuntime(machine.CPU, 1, scaled(machine.SciPyCost(), opt.OverheadScale))
+		sciSeries.Points = append(sciSeries.Points, Point{
+			Procs: p, Throughput: legateCGThroughput(rt, gridFor(cgUnits(opt)*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	cupy := Series{System: "CuPy (1 GPU)"}
+	{
+		rt := legateRuntime(machine.GPU, 1, scaled(machine.CuPyCost(), opt.OverheadScale))
+		cupy.Points = append(cupy.Points, Point{
+			Procs: 1, Throughput: legateCGThroughput(rt, gridFor(cgUnits(opt)), opt)})
+		rt.Shutdown()
+	}
+	petscRun := func(kind machine.ProcKind, p int) float64 {
+		cost := scaled(machine.PETScCost(), opt.OverheadScale)
+		var m *machine.Machine
+		if kind == machine.GPU {
+			m = machine.New(machine.Config{Nodes: (p + 5) / 6, Cost: &cost})
+		} else {
+			m = machine.New(machine.Config{Nodes: (p + 1) / 2, Cost: &cost})
+		}
+		comm := petsc.NewComm(m, m.Select(kind, p))
+		nx := gridFor(cgUnits(opt) * int64(p))
+		mat := petsc.MatFromCSR(comm, seqPoisson(nx))
+		b := comm.NewVec(nx * nx)
+		b.Set(1)
+		d := protocol(opt.Runs, func() time.Duration {
+			mat.CG(b, 2, 0)
+			comm.ResetMetrics()
+			mat.CG(b, cgIters, 0)
+			return comm.SimTime()
+		})
+		return throughput(cgIters, d)
+	}
+	petscGPU := Series{System: "PETSc-GPU"}
+	for _, p := range opt.GPUCounts {
+		petscGPU.Points = append(petscGPU.Points, Point{Procs: p, Throughput: petscRun(machine.GPU, p)})
+	}
+	petscCPU := Series{System: "PETSc-CPU"}
+	for _, p := range opt.CPUCounts {
+		petscCPU.Points = append(petscCPU.Points, Point{Procs: p, Throughput: petscRun(machine.CPU, p)})
+	}
+	fig.Series = []Series{gpuSeries, cupy, petscGPU, cpuSeries, sciSeries, petscCPU}
+	return fig
+}
+
+const gmgIters = 10
+
+// gmgMaxTotalUnits caps the total GMG fine-grid size: the two-level
+// hierarchy (Galerkin SpGEMM setup, strided restriction images) is
+// built on a single host in this reproduction, and configurations past
+// ~half a million unknowns exhaust its memory. Proc counts whose weak-
+// scaled problem exceeds the cap are skipped (noted in EXPERIMENTS.md).
+const gmgMaxTotalUnits = 1 << 19
+
+// quantumMaxTotalUnits likewise caps the quantum Hilbert dimension:
+// the Hamiltonian's near-all-to-all images materialize interval sets
+// proportional to the basis on every processor.
+const quantumMaxTotalUnits = 1 << 17
+
+// capProcs filters a weak-scaling ladder to configurations whose total
+// problem size stays under the cap.
+func capProcs(counts []int, unitsPerProc, cap int64) []int {
+	var out []int
+	for _, p := range counts {
+		if unitsPerProc*int64(p) <= cap {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = counts[:1]
+	}
+	return out
+}
+
+// gmgUnits scales the GMG problem per processor: large enough that the
+// V-cycle's kernels are comparable to (but do not completely hide) the
+// many small task launches, the regime where the paper measures CuPy
+// ~30% ahead of Legate on one GPU.
+func gmgUnits(opt Options) int64 { return 8 * opt.UnitsPerProc }
+
+// legateGMGThroughput measures MG-preconditioned CG iterations/sec.
+func legateGMGThroughput(rt *legion.Runtime, nx int64, opt Options) float64 {
+	a := core.Poisson2D(rt, nx)
+	b := cunumeric.Full(rt, nx*nx, 1)
+	mg := solvers.NewMultigrid(a, nx)
+	d := protocol(opt.Runs, func() time.Duration {
+		res := mg.PCG(b, 1, 0) // warmup
+		res.X.Destroy()
+		rt.Fence()
+		rt.ResetMetrics()
+		res = mg.PCG(b, gmgIters, 0)
+		res.X.Destroy()
+		rt.Fence()
+		return rt.SimTime()
+	})
+	mg.Destroy()
+	return throughput(gmgIters, d)
+}
+
+// Fig10GMG reproduces Figure 10: weak scaling of the two-level
+// geometric multigrid solver. There is no distributed reference
+// implementation (as in the paper), so the systems are Legate CPU/GPU,
+// SciPy, and CuPy.
+func Fig10GMG(opt Options) *Figure {
+	fig := &Figure{
+		Name:   "fig10",
+		Title:  "Geometric Multi-Grid Solver (weak scaling)",
+		Metric: "iterations / second",
+	}
+	// The grid edge must be even for injection coarsening.
+	grid := func(units int64) int64 {
+		nx := gridFor(units)
+		if nx%2 == 1 {
+			nx++
+		}
+		return nx
+	}
+	gpuCounts := capProcs(opt.GPUCounts, gmgUnits(opt), gmgMaxTotalUnits)
+	cpuCounts := capProcs(opt.CPUCounts, gmgUnits(opt), gmgMaxTotalUnits)
+	gpuSeries := Series{System: "Legate-GPU"}
+	for _, p := range gpuCounts {
+		rt := legateRuntime(machine.GPU, p, scaled(machine.LegateCost(), opt.OverheadScale))
+		gpuSeries.Points = append(gpuSeries.Points, Point{
+			Procs: p, Throughput: legateGMGThroughput(rt, grid(gmgUnits(opt)*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	cpuSeries := Series{System: "Legate-CPU"}
+	for _, p := range cpuCounts {
+		rt := legateRuntime(machine.CPU, p, scaled(machine.LegateCost(), opt.OverheadScale))
+		cpuSeries.Points = append(cpuSeries.Points, Point{
+			Procs: p, Throughput: legateGMGThroughput(rt, grid(gmgUnits(opt)*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	sciSeries := Series{System: "SciPy"}
+	for _, p := range cpuCounts {
+		rt := legateRuntime(machine.CPU, 1, scaled(machine.SciPyCost(), opt.OverheadScale))
+		sciSeries.Points = append(sciSeries.Points, Point{
+			Procs: p, Throughput: legateGMGThroughput(rt, grid(gmgUnits(opt)*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	cupy := Series{System: "CuPy (1 GPU)"}
+	{
+		rt := legateRuntime(machine.GPU, 1, scaled(machine.CuPyCost(), opt.OverheadScale))
+		cupy.Points = append(cupy.Points, Point{
+			Procs: 1, Throughput: legateGMGThroughput(rt, grid(gmgUnits(opt)), opt)})
+		rt.Shutdown()
+	}
+	fig.Series = []Series{gpuSeries, cupy, cpuSeries, sciSeries}
+	return fig
+}
+
+// atomsFor returns the smallest chain length whose blockade basis is at
+// least the target dimension (the paper could "only approximately
+// double the problem size" for the same reason).
+func atomsFor(dim int64) int {
+	n := 1
+	for quantum.BasisSize(n) < dim {
+		n++
+	}
+	return n
+}
+
+const quantumSteps = 3
+
+// quantumThroughput measures RK8 steps/sec for the Rydberg chain.
+func quantumThroughput(rt *legion.Runtime, atoms int, opt Options) float64 {
+	sys := quantum.NewSystem(rt, quantum.Chain{Atoms: atoms, Omega: 2, Delta: 1})
+	rk := sys.NewIntegrator()
+	d := protocol(opt.Runs, func() time.Duration {
+		sys.Evolve(rk, 1e-3, 1) // warmup
+		rt.Fence()
+		rt.ResetMetrics()
+		sys.Evolve(rk, 1e-3, quantumSteps)
+		rt.Fence()
+		return rt.SimTime()
+	})
+	rk.Destroy()
+	sys.Destroy()
+	return throughput(quantumSteps, d)
+}
+
+// Fig11Quantum reproduces Figure 11: weak scaling of the Rydberg-array
+// quantum simulation (8th-order Runge-Kutta evolution). GPU runs use 4
+// GPUs per node, as in the paper.
+func Fig11Quantum(opt Options) *Figure {
+	fig := &Figure{
+		Name:   "fig11",
+		Title:  "Quantum Simulation (weak scaling, Rydberg chain, RK8)",
+		Metric: "iterations / second",
+	}
+	gpuCounts := capProcs(opt.GPUCounts, opt.UnitsPerProc, quantumMaxTotalUnits)
+	cpuCounts := capProcs(opt.CPUCounts, opt.UnitsPerProc, quantumMaxTotalUnits)
+	gpuSeries := Series{System: "Legate-GPU"}
+	for _, p := range gpuCounts {
+		rt := quantumRuntime(p, scaled(machine.LegateCost(), opt.OverheadScale))
+		gpuSeries.Points = append(gpuSeries.Points, Point{
+			Procs: p, Throughput: quantumThroughput(rt, atomsFor(opt.UnitsPerProc*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	cpuSeries := Series{System: "Legate-CPU"}
+	for _, p := range cpuCounts {
+		rt := legateRuntime(machine.CPU, p, scaled(machine.LegateCost(), opt.OverheadScale))
+		cpuSeries.Points = append(cpuSeries.Points, Point{
+			Procs: p, Throughput: quantumThroughput(rt, atomsFor(opt.UnitsPerProc*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	sciSeries := Series{System: "SciPy"}
+	for _, p := range cpuCounts {
+		rt := legateRuntime(machine.CPU, 1, scaled(machine.SciPyCost(), opt.OverheadScale))
+		sciSeries.Points = append(sciSeries.Points, Point{
+			Procs: p, Throughput: quantumThroughput(rt, atomsFor(opt.UnitsPerProc*int64(p)), opt)})
+		rt.Shutdown()
+	}
+	cupy := Series{System: "CuPy (1 GPU)"}
+	{
+		rt := legateRuntime(machine.GPU, 1, scaled(machine.CuPyCost(), opt.OverheadScale))
+		cupy.Points = append(cupy.Points, Point{
+			Procs: 1, Throughput: quantumThroughput(rt, atomsFor(opt.UnitsPerProc), opt)})
+		rt.Shutdown()
+	}
+	fig.Series = []Series{gpuSeries, cupy, cpuSeries, sciSeries}
+	return fig
+}

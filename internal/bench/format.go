@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatFigure renders a figure as an aligned text table: one row per
+// processor count, one column per system — the same data the paper's
+// log-log plots show.
+func (f *Figure) FormatFigure() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", f.Title, f.Metric)
+	fmt.Fprintf(&sb, "%-8s", "procs")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%16s", s.System)
+	}
+	sb.WriteByte('\n')
+	for _, p := range f.procCounts() {
+		fmt.Fprintf(&sb, "%-8d", p)
+		for _, s := range f.Series {
+			if v, ok := s.at(p); ok {
+				fmt.Fprintf(&sb, "%16.3f", v)
+			} else {
+				fmt.Fprintf(&sb, "%16s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Markdown renders the figure as a markdown table for EXPERIMENTS.md.
+func (f *Figure) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "| procs |")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %s |", s.System)
+	}
+	sb.WriteString("\n|---|")
+	for range f.Series {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, p := range f.procCounts() {
+		fmt.Fprintf(&sb, "| %d |", p)
+		for _, s := range f.Series {
+			if v, ok := s.at(p); ok {
+				fmt.Fprintf(&sb, " %.3f |", v)
+			} else {
+				fmt.Fprintf(&sb, " — |")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// procCounts returns the union of processor counts across series, in
+// increasing order.
+func (f *Figure) procCounts() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.Procs] {
+				seen[p.Procs] = true
+				out = append(out, p.Procs)
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// at returns the series value at the given processor count.
+func (s *Series) at(procs int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Procs == procs {
+			return p.Throughput, true
+		}
+	}
+	return 0, false
+}
+
+// Find returns the series with the given system name, or nil.
+func (f *Figure) Find(system string) *Series {
+	for i := range f.Series {
+		if f.Series[i].System == system {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// First returns the series' first point's throughput.
+func (s *Series) First() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[0].Throughput
+}
+
+// Last returns the series' last point's throughput.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Throughput
+}
+
+// FormatTable renders the Figure 12 table in the paper's layout.
+func (t *MFTable) FormatTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sparse Matrix Factorization Performance (datasets scaled 1/%d)\n", t.Scale)
+	fmt.Fprintf(&sb, "%-10s %16s %18s %16s\n", "Dataset", "CuPy samples/s", "Legate samples/s", "Min Resources")
+	for _, r := range t.Rows {
+		cupy := "X"
+		if !r.CuPyOOM {
+			cupy = fmt.Sprintf("%.0f", r.CuPySamples)
+		}
+		fmt.Fprintf(&sb, "%-10s %16s %18.0f %13d GPUs\n", r.Dataset, cupy, r.LegateSamples, r.MinGPUs)
+	}
+	return sb.String()
+}
+
+// Markdown renders the Figure 12 table as markdown.
+func (t *MFTable) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("| Dataset | CuPy samples/sec | Legate samples/sec | Min Req. Resources |\n|---|---|---|---|\n")
+	for _, r := range t.Rows {
+		cupy := "X (OOM)"
+		if !r.CuPyOOM {
+			cupy = fmt.Sprintf("%.0f", r.CuPySamples)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %.0f | %d GPUs |\n", r.Dataset, cupy, r.LegateSamples, r.MinGPUs)
+	}
+	return sb.String()
+}

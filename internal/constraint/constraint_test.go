@@ -1,0 +1,199 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/legion"
+	"repro/internal/machine"
+)
+
+func newRT(t testing.TB, gpus int) *legion.Runtime {
+	t.Helper()
+	m := machine.Summit((gpus + 5) / 6)
+	rt := legion.NewRuntime(m, m.Select(machine.GPU, gpus))
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestAlignedElementwise(t *testing.T) {
+	rt := newRT(t, 3)
+	a := rt.CreateFloat64("a", seq(30))
+	b := rt.CreateFloat64("b", seq(30))
+	c := rt.CreateRegion("c", 30, legion.Float64)
+
+	task := NewTask(rt, "add", func(tc *legion.TaskContext) {
+		av, bv, cv := tc.Float64(0), tc.Float64(1), tc.Float64(2)
+		tc.Subspace(2).Each(func(i int64) { cv[i] = av[i] + bv[i] })
+	})
+	va := task.AddInput(a)
+	vb := task.AddInput(b)
+	vc := task.AddOutput(c)
+	task.Align(va, vc).Align(vb, vc)
+	task.Execute()
+	rt.Fence()
+	for i, v := range c.Float64s() {
+		if v != 2*float64(i) {
+			t.Fatalf("c[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestKeyPartitionReuse verifies the paper's partition-reuse property:
+// an operation with no constraints of its own adopts the tiling the
+// previous writer established, so no data moves between the operations.
+func TestKeyPartitionReuse(t *testing.T) {
+	rt := newRT(t, 2)
+	x := rt.CreateRegion("x", 1000, legion.Float64)
+
+	fill := NewTask(rt, "fill", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		tc.Subspace(0).Each(func(i int64) { d[i] = 1 })
+	})
+	fill.AddOutput(x)
+	fill.Execute()
+	rt.Fence()
+	rt.ResetMetrics()
+
+	// Second op: scale in place. The solver must reuse x's key partition,
+	// so the op is local: zero inter-processor movement.
+	scale := NewTask(rt, "scale", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		tc.Subspace(0).Each(func(i int64) { d[i] *= 2 })
+	})
+	scale.AddInOut(x)
+	scale.Execute()
+	rt.Fence()
+	if moved := rt.Stats().MovedBytes(); moved != 0 {
+		t.Errorf("aligned follow-up op moved %d bytes, want 0", moved)
+	}
+}
+
+// TestSpMVConstraints builds the exact launch of the paper's Figure 4 and
+// checks the solved partitions: y aligned with pos, crd/vals as range
+// images of pos, x as the coordinate image of crd.
+func TestSpMVConstraints(t *testing.T) {
+	rt := newRT(t, 2)
+	pos := rt.CreateRects("pos", []geometry.Rect{
+		geometry.NewRect(0, 0), geometry.NewRect(1, 2),
+		geometry.NewRect(3, 4), geometry.NewRect(5, 5),
+	})
+	crd := rt.CreateInt64("crd", []int64{0, 1, 2, 2, 3, 3})
+	vals := rt.CreateFloat64("vals", []float64{1, 1, 1, 1, 1, 1})
+	x := rt.CreateFloat64("x", []float64{1, 2, 3, 4})
+	y := rt.CreateRegion("y", 4, legion.Float64)
+
+	task := NewTask(rt, "spmv", func(tc *legion.TaskContext) {
+		yv, pv, cv, vv, xv := tc.Float64(0), tc.Rects(1), tc.Int64(2), tc.Float64(3), tc.Float64(4)
+		tc.Subspace(0).Each(func(i int64) {
+			var acc float64
+			for j := pv[i].Lo; j <= pv[i].Hi; j++ {
+				acc += vv[j] * xv[cv[j]]
+			}
+			yv[i] = acc
+		})
+	})
+	vy := task.AddOutput(y)
+	vpos := task.AddInput(pos)
+	vcrd := task.AddInput(crd)
+	vvals := task.AddInput(vals)
+	vx := task.AddInput(x)
+	task.Align(vy, vpos)
+	task.Image(vpos, vcrd, vvals)
+	task.Image(vcrd, vx)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+	rt.Fence()
+
+	// y = A @ x for the tridiagonal-ish matrix with unit values:
+	// row0={0}:1, row1={1,2}:5, row2={2,3}:7, row3={3}:4.
+	want := []float64{1, 5, 7, 4}
+	for i, v := range y.Float64s() {
+		if v != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestBroadcastConstraint(t *testing.T) {
+	rt := newRT(t, 3)
+	small := rt.CreateFloat64("coef", []float64{2, 3})
+	out := rt.CreateRegion("out", 30, legion.Float64)
+	task := NewTask(rt, "affine", func(tc *legion.TaskContext) {
+		c, o := tc.Float64(0), tc.Float64(1)
+		tc.Subspace(1).Each(func(i int64) { o[i] = c[0]*float64(i) + c[1] })
+	})
+	vc := task.AddInput(small)
+	task.AddOutput(out)
+	task.Broadcast(vc)
+	task.Execute()
+	rt.Fence()
+	for i, v := range out.Float64s() {
+		if v != 2*float64(i)+3 {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestUsePartition(t *testing.T) {
+	rt := newRT(t, 2)
+	x := rt.CreateRegion("x", 10, legion.Float64)
+	// A bespoke uneven partition.
+	p := rt.PartitionByRects(x, []geometry.Rect{geometry.NewRect(0, 7), geometry.NewRect(8, 9)})
+	task := NewTask(rt, "fill", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		tc.Subspace(0).Each(func(i int64) { d[i] = float64(tc.Point()) })
+	})
+	v := task.AddOutput(x)
+	task.UsePartition(v, p)
+	task.Execute()
+	rt.Fence()
+	want := []float64{0, 0, 0, 0, 0, 0, 0, 0, 1, 1}
+	for i, got := range x.Float64s() {
+		if got != want[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestReductionThroughConstraints(t *testing.T) {
+	rt := newRT(t, 4)
+	x := rt.CreateFloat64("x", seq(100))
+	task := NewTask(rt, "sum", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		var s float64
+		tc.Subspace(0).Each(func(i int64) { s += d[i] })
+		tc.Reduce(s)
+	})
+	task.AddInput(x)
+	task.SetOpClass(machine.Reduction)
+	got := task.Execute().Get()
+	if got != 99*100/2 {
+		t.Fatalf("sum = %v, want 4950", got)
+	}
+}
+
+func TestUnsolvableImageCyclePanics(t *testing.T) {
+	rt := newRT(t, 2)
+	a := rt.CreateInt64("a", []int64{0, 1})
+	b := rt.CreateInt64("b", []int64{0, 1})
+	task := NewTask(rt, "cycle", func(tc *legion.TaskContext) {})
+	va := task.AddInput(a)
+	vb := task.AddInput(b)
+	task.Image(va, vb)
+	task.Image(vb, va)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("image cycle must panic")
+		}
+	}()
+	task.Execute()
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}

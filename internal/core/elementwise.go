@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/geometry"
+)
+
+// Sparse-sparse structural operations. These are the §5.3 hand-written
+// class: SciPy implements them with C loops over the index structures,
+// and so do we — a host-side structural pass building the output
+// pattern, with the resulting matrix a first-class distributed object.
+
+// Add returns alpha*A + beta*B as a new CSR matrix; the patterns are
+// merged row by row (this is scipy's csr_plus_csr). A and B must agree
+// in shape.
+func Add(a, b *CSR, alpha, beta float64) *CSR {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("core: Add shape mismatch")
+	}
+	apos, acrd, avals := a.hostCSR()
+	bpos, bcrd, bvals := b.hostCSR()
+	var r, c []int64
+	var v []float64
+	for i := int64(0); i < a.rows; i++ {
+		ka, kb := apos[i].Lo, bpos[i].Lo
+		for ka <= apos[i].Hi || kb <= bpos[i].Hi {
+			switch {
+			case kb > bpos[i].Hi || (ka <= apos[i].Hi && acrd[ka] < bcrd[kb]):
+				r, c, v = append(r, i), append(c, acrd[ka]), append(v, alpha*avals[ka])
+				ka++
+			case ka > apos[i].Hi || bcrd[kb] < acrd[ka]:
+				r, c, v = append(r, i), append(c, bcrd[kb]), append(v, beta*bvals[kb])
+				kb++
+			default: // same column in both
+				r, c, v = append(r, i), append(c, acrd[ka]), append(v, alpha*avals[ka]+beta*bvals[kb])
+				ka, kb = ka+1, kb+1
+			}
+		}
+	}
+	return buildCSR(a.rt, a.rows, a.cols, r, c, v)
+}
+
+// Multiply returns the element-wise (Hadamard) product A ⊙ B as CSR;
+// the output pattern is the intersection of the input patterns.
+func Multiply(a, b *CSR) *CSR {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("core: Multiply shape mismatch")
+	}
+	apos, acrd, avals := a.hostCSR()
+	bpos, bcrd, bvals := b.hostCSR()
+	var r, c []int64
+	var v []float64
+	for i := int64(0); i < a.rows; i++ {
+		ka, kb := apos[i].Lo, bpos[i].Lo
+		for ka <= apos[i].Hi && kb <= bpos[i].Hi {
+			switch {
+			case acrd[ka] < bcrd[kb]:
+				ka++
+			case bcrd[kb] < acrd[ka]:
+				kb++
+			default:
+				r, c, v = append(r, i), append(c, acrd[ka]), append(v, avals[ka]*bvals[kb])
+				ka, kb = ka+1, kb+1
+			}
+		}
+	}
+	return buildCSR(a.rt, a.rows, a.cols, r, c, v)
+}
+
+// SpGEMM returns the sparse-sparse product A @ B as CSR, computed row by
+// row with Gustavson's algorithm: a dense value workspace over B's
+// columns plus a marker array, reset sparsely per row (the classic
+// csr_matmat kernel).
+func SpGEMM(a, b *CSR) *CSR {
+	if a.cols != b.rows {
+		panic("core: SpGEMM inner-dimension mismatch")
+	}
+	apos, acrd, avals := a.hostCSR()
+	bpos, bcrd, bvals := b.hostCSR()
+	var r, c []int64
+	var v []float64
+	w := make([]float64, b.cols)      // dense value accumulator
+	marker := make([]int64, b.cols)   // last row each column was touched in
+	rowCols := make([]int64, 0, 1024) // columns touched by the current row
+	for i := range marker {
+		marker[i] = -1
+	}
+	for i := int64(0); i < a.rows; i++ {
+		rowCols = rowCols[:0]
+		for k := apos[i].Lo; k <= apos[i].Hi; k++ {
+			j := acrd[k]
+			av := avals[k]
+			for kb := bpos[j].Lo; kb <= bpos[j].Hi; kb++ {
+				col := bcrd[kb]
+				if marker[col] != i {
+					marker[col] = i
+					w[col] = 0
+					rowCols = append(rowCols, col)
+				}
+				w[col] += av * bvals[kb]
+			}
+		}
+		if len(rowCols) == 0 {
+			continue
+		}
+		sortInt64s(rowCols)
+		for _, col := range rowCols {
+			r, c, v = append(r, i), append(c, col), append(v, w[col])
+		}
+	}
+	return buildCSR(a.rt, a.rows, b.cols, r, c, v)
+}
+
+// Copy returns a deep copy of the matrix (scipy .copy()).
+func (a *CSR) Copy() *CSR {
+	pos, crd, vals := a.hostCSR()
+	p2 := make([]geometry.Rect, len(pos))
+	c2 := make([]int64, len(crd))
+	v2 := make([]float64, len(vals))
+	copy(p2, pos)
+	copy(c2, crd)
+	copy(v2, vals)
+	return &CSR{
+		rt:   a.rt,
+		rows: a.rows,
+		cols: a.cols,
+		pos:  a.rt.CreateRects("A.pos", p2),
+		crd:  a.rt.CreateInt64("A.crd", c2),
+		vals: a.rt.CreateFloat64("A.vals", v2),
+	}
+}
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

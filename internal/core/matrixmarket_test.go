@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const mmGeneral = `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 5
+1 1 2.5
+1 3 -1
+2 2 4
+3 1 7
+3 4 0.5
+`
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	rt := newRT(t, 2)
+	a, err := ReadMatrixMarket(rt, strings.NewReader(mmGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != 3 || a.Cols() != 4 || a.NNZ() != 5 {
+		t.Fatalf("shape/nnz wrong: %v", a)
+	}
+	d := a.ToDense()
+	if d[0] != 2.5 || d[2] != -1 || d[5] != 4 || d[8] != 7 || d[11] != 0.5 {
+		t.Fatalf("dense = %v", d)
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	rt := newRT(t, 1)
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1
+2 1 5
+3 2 -2
+`
+	a, err := ReadMatrixMarket(rt, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	if d[1] != 5 || d[3] != 5 {
+		t.Fatal("symmetric mirror missing")
+	}
+	if d[5] != -2 || d[7] != -2 {
+		t.Fatal("symmetric mirror missing (3,2)")
+	}
+	if a.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5 (3 stored + 2 mirrored)", a.NNZ())
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	rt := newRT(t, 1)
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	a, err := ReadMatrixMarket(rt, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	if d[1] != 1 || d[2] != 1 || d[0] != 0 {
+		t.Fatalf("pattern dense = %v", d)
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rt := newRT(t, 2)
+	a := Random(rt, 15, 11, 0.3, 77)
+	var buf bytes.Buffer
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(rt, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(b.ToDense(), a.ToDense(), 0) {
+		t.Fatal("round trip differs")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	rt := newRT(t, 1)
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"no header", "1 1 1\n1 1 2\n"},
+		{"array format", "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"},
+		{"bad field", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2 3\n"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 2\n"},
+		{"out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 2\n"},
+		{"count mismatch", "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 2\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 abc\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMatrixMarket(rt, strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

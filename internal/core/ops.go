@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/cunumeric"
+	"repro/internal/distal"
+	"repro/internal/geometry"
+	"repro/internal/legion"
+	"repro/internal/machine"
+)
+
+// kernelTarget maps the runtime's processor kind to the DISTAL variant
+// to dispatch — the "processor varieties" layer of composability: every
+// operation must have a variant for the kind the program runs on, or
+// data would thrash back to another memory (§1).
+func kernelTarget(rt *legion.Runtime) distal.Target {
+	if rt.ProcKind() == machine.GPU {
+		return distal.GPUThread
+	}
+	return distal.CPUThread
+}
+
+// SpMVInto computes y = A @ x using the row-split DISTAL kernel with the
+// constraint set of the paper's Figure 4: align(y, pos),
+// image(pos, {crd, vals}), image(crd, x).
+func (a *CSR) SpMVInto(y, x *cunumeric.Array) {
+	if x.Len() != a.cols || y.Len() != a.rows {
+		panic(fmt.Sprintf("core: SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
+	}
+	k := distal.Standard.MustLookup("spmv", distal.CSR, kernelTarget(a.rt))
+	task := constraint.NewTask(a.rt, "sparse.spmv", func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(0)
+		if bounds.Empty() {
+			return
+		}
+		args := &distal.Args{
+			Ops: map[string]*distal.Operand{
+				"y": {Vals: tc.Float64(0)},
+				"A": {Pos: tc.Rects(1), Crd: tc.Int64(2), Vals: tc.Float64(3)},
+				"x": {Vals: tc.Float64(4)},
+			},
+			Lo: bounds.Lo, Hi: bounds.Hi,
+		}
+		k.Exec(args)
+		tc.SetWorkElems(k.WorkEstimate(args))
+	})
+	vy := task.AddOutput(y.Region())
+	vpos := task.AddInput(a.pos)
+	vcrd := task.AddInput(a.crd)
+	vvals := task.AddInput(a.vals)
+	vx := task.AddInput(x.Region())
+	task.Align(vy, vpos)
+	task.Image(vpos, vcrd, vvals)
+	task.Image(vcrd, vx)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+}
+
+// SpMV allocates and returns y = A @ x (the `A @ x` of Figure 1).
+func (a *CSR) SpMV(x *cunumeric.Array) *cunumeric.Array {
+	y := cunumeric.Zeros(a.rt, a.rows)
+	a.SpMVInto(y, x)
+	return y
+}
+
+// SpMVInto computes y = A @ x for a CSC matrix: the generated kernel
+// iterates columns and scatters into y, so y is a reduction operand
+// whose partition is the (aliased) image of crd.
+func (a *CSC) SpMVInto(y, x *cunumeric.Array) {
+	if x.Len() != a.cols || y.Len() != a.rows {
+		panic(fmt.Sprintf("core: CSC SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
+	}
+	y.Fill(0)
+	k := distal.Standard.MustLookup("spmv_csc", distal.CSR, kernelTarget(a.rt))
+	task := constraint.NewTask(a.rt, "sparse.spmv_csc", func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(1) // pos subspace: the columns this point owns
+		if bounds.Empty() {
+			return
+		}
+		args := &distal.Args{
+			Ops: map[string]*distal.Operand{
+				"y": {},
+				"A": {Pos: tc.Rects(1), Crd: tc.Int64(2), Vals: tc.Float64(3)},
+				"x": {Vals: tc.Float64(4)},
+			},
+			Lo: bounds.Lo, Hi: bounds.Hi,
+			Accum: func(idx int64, v float64) { tc.ReduceAdd(0, idx, v) },
+		}
+		k.Exec(args)
+		tc.SetWorkElems(k.WorkEstimate(args))
+	})
+	vy := task.AddReduction(y.Region())
+	vpos := task.AddInput(a.pos)
+	vcrd := task.AddInput(a.crd)
+	vvals := task.AddInput(a.vals)
+	vx := task.AddInput(x.Region())
+	task.Align(vx, vpos) // x is indexed by columns, like pos
+	task.Image(vpos, vcrd, vvals)
+	task.Image(vcrd, vy) // scattered rows
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+}
+
+// SpMV allocates and returns y = A @ x.
+func (a *CSC) SpMV(x *cunumeric.Array) *cunumeric.Array {
+	y := cunumeric.Zeros(a.rt, a.rows)
+	a.SpMVInto(y, x)
+	return y
+}
+
+// SpMVInto computes y = A @ x for a COO matrix by scattering each
+// stored entry: the nnz space is block-partitioned, x's partition is the
+// image of the col region, and y's the (aliased) image of the row
+// region.
+func (a *COO) SpMVInto(y, x *cunumeric.Array) {
+	if x.Len() != a.cols || y.Len() != a.rows {
+		panic(fmt.Sprintf("core: COO SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
+	}
+	y.Fill(0)
+	task := constraint.NewTask(a.rt, "sparse.spmv_coo", func(tc *legion.TaskContext) {
+		rows, cols, vals, xv := tc.Int64(1), tc.Int64(2), tc.Float64(3), tc.Float64(4)
+		var n int64
+		tc.Subspace(1).Each(func(k int64) {
+			tc.ReduceAdd(0, rows[k], vals[k]*xv[cols[k]])
+			n++
+		})
+		tc.SetWorkElems(n)
+	})
+	vy := task.AddReduction(y.Region())
+	vrow := task.AddInput(a.row)
+	vcol := task.AddInput(a.col)
+	vvals := task.AddInput(a.vals)
+	vx := task.AddInput(x.Region())
+	task.Align(vrow, vcol)
+	task.Align(vrow, vvals)
+	task.Image(vrow, vy)
+	task.Image(vcol, vx)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+}
+
+// SpMV allocates and returns y = A @ x.
+func (a *COO) SpMV(x *cunumeric.Array) *cunumeric.Array {
+	y := cunumeric.Zeros(a.rt, a.rows)
+	a.SpMVInto(y, x)
+	return y
+}
+
+// SpMVOwnerInto computes y = A @ x with the owner-computes strategy:
+// instead of block-partitioning the entries and scattering with
+// reductions, the entries are partitioned by the *preimage* of y's
+// tiling through the row region [33], so every point task writes only
+// its own rows — no reduction privilege, no atomics, at the price of a
+// potentially imbalanced entry distribution. This is the strategy an
+// explicitly-parallel library (PETSc assembly) uses, expressed with
+// dependent partitioning.
+func (a *COO) SpMVOwnerInto(y, x *cunumeric.Array) {
+	if x.Len() != a.cols || y.Len() != a.rows {
+		panic(fmt.Sprintf("core: COO SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
+	}
+	rt := a.rt
+	colors := rt.NumProcs()
+	yPart := rt.BlockPartition(y.Region(), colors)
+	entryPart := rt.PreimageCoord(a.row, yPart)
+	colPart := rt.AlignedPartition(entryPart, a.col)
+	valsPart := rt.AlignedPartition(entryPart, a.vals)
+	xPart := rt.ImageCoord(a.col, colPart, x.Region())
+
+	task := constraint.NewTask(rt, "sparse.spmv_coo_owner", func(tc *legion.TaskContext) {
+		yv, rows, cols, vals, xv := tc.Float64(0), tc.Int64(1), tc.Int64(2), tc.Float64(3), tc.Float64(4)
+		tc.Subspace(0).Each(func(i int64) { yv[i] = 0 })
+		var n int64
+		tc.Subspace(1).Each(func(k int64) {
+			yv[rows[k]] += vals[k] * xv[cols[k]]
+			n++
+		})
+		tc.SetWorkElems(n)
+	})
+	vy := task.AddOutput(y.Region())
+	vrow := task.AddInput(a.row)
+	vcol := task.AddInput(a.col)
+	vvals := task.AddInput(a.vals)
+	vx := task.AddInput(x.Region())
+	task.UsePartition(vy, yPart)
+	task.UsePartition(vrow, entryPart)
+	task.UsePartition(vcol, colPart)
+	task.UsePartition(vvals, valsPart)
+	task.UsePartition(vx, xPart)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+}
+
+// SpMVInto computes y = A @ x for a DIA matrix. The x partition is
+// computed explicitly as the union of the row block shifted by every
+// stored offset (a fixed-width halo), and the data partition selects the
+// matching slice of each diagonal.
+func (a *DIA) SpMVInto(y, x *cunumeric.Array) {
+	if x.Len() != a.cols || y.Len() != a.rows {
+		panic(fmt.Sprintf("core: DIA SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
+	}
+	rt := a.rt
+	colors := rt.NumProcs()
+	rowTiles := geometry.Tile(geometry.NewRect(0, a.rows-1), colors)
+	xSets := make([]geometry.IntervalSet, colors)
+	dataSets := make([]geometry.IntervalSet, colors)
+	xDom := geometry.NewRect(0, a.cols-1)
+	for c, tile := range rowTiles {
+		var xs, ds geometry.IntervalSet
+		if !tile.Empty() {
+			for d, off := range a.offsets {
+				cols := tile.Shift(off).Intersect(xDom)
+				if cols.Empty() {
+					continue
+				}
+				xs = xs.UnionRect(cols)
+				ds = ds.UnionRect(cols.Shift(int64(d) * a.cols))
+			}
+		}
+		xSets[c] = xs
+		dataSets[c] = ds
+	}
+	yPart := rt.BlockPartition(y.Region(), colors)
+	xPart := rt.PartitionBySets(x.Region(), xSets)
+	dataPart := rt.PartitionBySets(a.data, dataSets)
+
+	offsets := a.offsets
+	nCols := a.cols
+	k := distal.Standard.MustLookup("spmv", distal.DIA, kernelTarget(rt))
+	task := constraint.NewTask(rt, "sparse.spmv_dia", func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(0)
+		if bounds.Empty() {
+			return
+		}
+		args := &distal.Args{
+			Ops: map[string]*distal.Operand{
+				"y": {Vals: tc.Float64(0)},
+				"A": {Vals: tc.Float64(1), Stride: nCols, Offsets: offsets},
+				"x": {Vals: tc.Float64(2)},
+			},
+			Lo: bounds.Lo, Hi: bounds.Hi,
+		}
+		k.Exec(args)
+		tc.SetWorkElems(k.WorkEstimate(args))
+	})
+	vy := task.AddOutput(y.Region())
+	vd := task.AddInput(a.data)
+	vx := task.AddInput(x.Region())
+	task.UsePartition(vy, yPart)
+	task.UsePartition(vd, dataPart)
+	task.UsePartition(vx, xPart)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+}
+
+// SpMV allocates and returns y = A @ x.
+func (a *DIA) SpMV(x *cunumeric.Array) *cunumeric.Array {
+	y := cunumeric.Zeros(a.rt, a.rows)
+	a.SpMVInto(y, x)
+	return y
+}
+
+// denseRowImage computes, per color, the element intervals of a
+// row-major (n x stride) dense region referenced by the columns stored
+// in this matrix's crd for that color's row block — the generalization
+// of image(crd, x) to matrix operands, used by SpMM and SDDMM.
+// Results are cached per (colors, stride) while crd is unchanged.
+func (a *CSR) denseRowImage(dst *legion.Region, stride int64, colors int) *legion.Partition {
+	a.imgMu.Lock()
+	defer a.imgMu.Unlock()
+	key := rowImageKey{dst: dst.ID(), colors: colors, stride: stride, version: a.crd.Version()}
+	if p, ok := a.rowImages[key]; ok {
+		return p
+	}
+	a.rt.Fence()
+	pos, crd := a.pos.Rects(), a.crd.Int64s()
+	tiles := geometry.Tile(geometry.NewRect(0, a.rows-1), colors)
+	sets := make([]geometry.IntervalSet, colors)
+	for c, tile := range tiles {
+		var cols []int64
+		for i := tile.Lo; i <= tile.Hi && !tile.Empty(); i++ {
+			for k := pos[i].Lo; k <= pos[i].Hi; k++ {
+				cols = append(cols, crd[k])
+			}
+		}
+		var set geometry.IntervalSet
+		for _, r := range geometry.FromPoints(cols).Rects() {
+			set = set.UnionRect(geometry.NewRect(r.Lo*stride, r.Hi*stride+stride-1))
+		}
+		sets[c] = set
+	}
+	p := a.rt.PartitionBySets(dst, sets)
+	if a.rowImages == nil {
+		a.rowImages = map[rowImageKey]*legion.Partition{}
+	}
+	a.rowImages[key] = p
+	return p
+}
+
+type rowImageKey struct {
+	dst     legion.RegionID
+	colors  int
+	stride  int64
+	version int64
+}
+
+// SpMMInto computes Y = A @ X for dense X, Y using the DISTAL SpMM
+// kernel. Y and A are row-partitioned together; X's partition is the
+// per-color row image of A's coordinates.
+func (a *CSR) SpMMInto(y, x *cunumeric.Matrix) {
+	if x.Rows() != a.cols || y.Rows() != a.rows || x.Cols() != y.Cols() {
+		panic(fmt.Sprintf("core: SpMM shape mismatch: %v @ %dx%d -> %dx%d",
+			a, x.Rows(), x.Cols(), y.Rows(), y.Cols()))
+	}
+	rt := a.rt
+	colors := rt.NumProcs()
+	k := distal.Standard.MustLookup("spmm", distal.CSR, kernelTarget(rt))
+	kk := x.Cols()
+	task := constraint.NewTask(rt, "sparse.spmm", func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(1) // pos subspace = row block
+		if bounds.Empty() {
+			return
+		}
+		args := &distal.Args{
+			Ops: map[string]*distal.Operand{
+				"Y": {Vals: tc.Float64(0), Stride: kk},
+				"A": {Pos: tc.Rects(1), Crd: tc.Int64(2), Vals: tc.Float64(3)},
+				"X": {Vals: tc.Float64(4), Stride: kk},
+			},
+			Lo: bounds.Lo, Hi: bounds.Hi,
+		}
+		k.Exec(args)
+		tc.SetWorkElems(k.WorkEstimate(args))
+	})
+	vy := task.AddOutput(y.Region())
+	vpos := task.AddInput(a.pos)
+	vcrd := task.AddInput(a.crd)
+	vvals := task.AddInput(a.vals)
+	vx := task.AddInput(x.Region())
+	task.UsePartition(vy, y.RowPartition(colors))
+	task.UsePartition(vpos, rt.BlockPartition(a.pos, colors))
+	task.Image(vpos, vcrd, vvals)
+	task.UsePartition(vx, a.denseRowImage(x.Region(), kk, colors))
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+}
+
+// SpMM allocates and returns Y = A @ X.
+func (a *CSR) SpMM(x *cunumeric.Matrix) *cunumeric.Matrix {
+	y := cunumeric.ZerosMatrix(a.rt, a.rows, x.Cols())
+	a.SpMMInto(y, x)
+	return y
+}
+
+// SDDMM computes R = A ⊙ (B @ Cᵀ): the sampled dense-dense matrix
+// multiplication generated with DISTAL that §6.2 credits for the matrix
+// factorization workload, avoiding materialization of the dense product.
+// R shares A's sparsity pattern (its pos and crd regions are reused).
+func (a *CSR) SDDMM(b, c *cunumeric.Matrix) *CSR {
+	if b.Rows() != a.rows || c.Rows() != a.cols || b.Cols() != c.Cols() {
+		panic(fmt.Sprintf("core: SDDMM shape mismatch: %v ⊙ (%dx%d @ (%dx%d)ᵀ)",
+			a, b.Rows(), b.Cols(), c.Rows(), c.Cols()))
+	}
+	rt := a.rt
+	colors := rt.NumProcs()
+	out := &CSR{rt: rt, rows: a.rows, cols: a.cols, pos: a.pos, crd: a.crd,
+		vals: rt.CreateRegion("R.vals", a.NNZ(), legion.Float64)}
+	k := distal.Standard.MustLookup("sddmm", distal.CSR, kernelTarget(rt))
+	kk := b.Cols()
+	task := constraint.NewTask(rt, "sparse.sddmm", func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(1)
+		if bounds.Empty() {
+			return
+		}
+		args := &distal.Args{
+			Ops: map[string]*distal.Operand{
+				"R": {Vals: tc.Float64(0)},
+				"A": {Pos: tc.Rects(1), Crd: tc.Int64(2), Vals: tc.Float64(3)},
+				"B": {Vals: tc.Float64(4), Stride: kk},
+				"C": {Vals: tc.Float64(5), Stride: kk},
+			},
+			Lo: bounds.Lo, Hi: bounds.Hi,
+		}
+		k.Exec(args)
+		tc.SetWorkElems(k.WorkEstimate(args))
+	})
+	vr := task.AddOutput(out.vals)
+	vpos := task.AddInput(a.pos)
+	vcrd := task.AddInput(a.crd)
+	vvals := task.AddInput(a.vals)
+	vb := task.AddInput(b.Region())
+	vc := task.AddInput(c.Region())
+	task.UsePartition(vpos, rt.BlockPartition(a.pos, colors))
+	task.Image(vpos, vcrd, vvals)
+	task.Image(vpos, vr) // R.vals shares A's layout, so the same image applies
+	task.UsePartition(vb, b.RowPartition(colors))
+	task.UsePartition(vc, a.denseRowImage(c.Region(), kk, colors))
+	task.SetOpClass(machine.Compute)
+	task.Execute()
+	return out
+}
+
+// SumAxis1 returns the per-row sums (scipy A.sum(axis=1)) via the
+// DISTAL row-reduction kernel.
+func (a *CSR) SumAxis1() *cunumeric.Array {
+	out := cunumeric.Zeros(a.rt, a.rows)
+	k := distal.Standard.MustLookup("row_sum", distal.CSR, kernelTarget(a.rt))
+	task := constraint.NewTask(a.rt, "sparse.row_sum", func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(0)
+		if bounds.Empty() {
+			return
+		}
+		args := &distal.Args{
+			Ops: map[string]*distal.Operand{
+				"y": {Vals: tc.Float64(0)},
+				"A": {Pos: tc.Rects(1), Vals: tc.Float64(2)},
+			},
+			Lo: bounds.Lo, Hi: bounds.Hi,
+		}
+		k.Exec(args)
+		tc.SetWorkElems(k.WorkEstimate(args))
+	})
+	vy := task.AddOutput(out.Region())
+	vpos := task.AddInput(a.pos)
+	vvals := task.AddInput(a.vals)
+	task.Align(vy, vpos)
+	task.Image(vpos, vvals)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+	return out
+}
+
+// SumAxis0 returns the per-column sums (scipy A.sum(axis=0)): a
+// hand-written scatter over the row blocks reducing into the output
+// through the aliased image of crd (§5.3).
+func (a *CSR) SumAxis0() *cunumeric.Array {
+	out := cunumeric.Zeros(a.rt, a.cols)
+	task := constraint.NewTask(a.rt, "sparse.col_sum", func(tc *legion.TaskContext) {
+		pos, vals := tc.Rects(1), tc.Float64(3)
+		crd := tc.Int64(2)
+		var n int64
+		tc.Subspace(1).Each(func(i int64) {
+			for k := pos[i].Lo; k <= pos[i].Hi; k++ {
+				tc.ReduceAdd(0, crd[k], vals[k])
+				n++
+			}
+		})
+		tc.SetWorkElems(n)
+	})
+	vout := task.AddReduction(out.Region())
+	vpos := task.AddInput(a.pos)
+	vcrd := task.AddInput(a.crd)
+	vvals := task.AddInput(a.vals)
+	task.Image(vpos, vcrd, vvals)
+	task.Image(vcrd, vout)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+	return out
+}
+
+// Diagonal extracts the main diagonal of a square matrix
+// (scipy A.diagonal()).
+func (a *CSR) Diagonal() *cunumeric.Array {
+	if a.rows != a.cols {
+		panic("core: Diagonal requires a square matrix")
+	}
+	out := cunumeric.Zeros(a.rt, a.rows)
+	task := constraint.NewTask(a.rt, "sparse.diag", func(tc *legion.TaskContext) {
+		outv, pos, crd, vals := tc.Float64(0), tc.Rects(1), tc.Int64(2), tc.Float64(3)
+		tc.Subspace(0).Each(func(i int64) {
+			var d float64
+			for k := pos[i].Lo; k <= pos[i].Hi; k++ {
+				if crd[k] == i {
+					d += vals[k]
+				}
+			}
+			outv[i] = d
+		})
+	})
+	vout := task.AddOutput(out.Region())
+	vpos := task.AddInput(a.pos)
+	vcrd := task.AddInput(a.crd)
+	vvals := task.AddInput(a.vals)
+	task.Align(vout, vpos)
+	task.Image(vpos, vcrd, vvals)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
+	return out
+}
+
+// Scale multiplies every stored value by alpha in place — a ported,
+// non-zero-preserving element-wise op implemented directly with
+// cuNumeric on the values array (§5.2).
+func (a *CSR) Scale(alpha float64) { a.ValsArray().Scale(alpha) }

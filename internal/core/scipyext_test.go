@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowColAccess(t *testing.T) {
+	rt := newRT(t, 2)
+	a := FromDense(rt, 3, 4, []float64{
+		1, 0, 2, 0,
+		0, 3, 0, 0,
+		4, 0, 0, 5,
+	})
+	row := a.GetRow(0)
+	if row[0] != 1 || row[2] != 2 || row[1] != 0 {
+		t.Fatalf("GetRow = %v", row)
+	}
+	col := a.GetCol(0)
+	if col[0] != 1 || col[2] != 4 || col[1] != 0 {
+		t.Fatalf("GetCol = %v", col)
+	}
+	if a.At(2, 3) != 5 || a.At(1, 0) != 0 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	rt := newRT(t, 2)
+	a := Random(rt, 20, 10, 0.3, 3)
+	s := a.SliceRows(5, 12)
+	if s.Rows() != 7 || s.Cols() != 10 {
+		t.Fatalf("slice shape %v", s)
+	}
+	ad, sd := a.ToDense(), s.ToDense()
+	for i := int64(0); i < 7; i++ {
+		for j := int64(0); j < 10; j++ {
+			if sd[i*10+j] != ad[(i+5)*10+j] {
+				t.Fatalf("slice (%d,%d) wrong", i, j)
+			}
+		}
+	}
+	// Empty slice.
+	if e := a.SliceRows(4, 4); e.Rows() != 0 || e.NNZ() != 0 {
+		t.Fatal("empty slice wrong")
+	}
+}
+
+func TestStacking(t *testing.T) {
+	rt := newRT(t, 2)
+	a := FromDense(rt, 2, 2, []float64{1, 2, 3, 4})
+	b := FromDense(rt, 2, 2, []float64{5, 0, 0, 6})
+
+	vs := VStack(a, b)
+	if vs.Rows() != 4 || vs.Cols() != 2 {
+		t.Fatal("vstack shape")
+	}
+	vd := vs.ToDense()
+	want := []float64{1, 2, 3, 4, 5, 0, 0, 6}
+	for i := range want {
+		if vd[i] != want[i] {
+			t.Fatalf("vstack[%d] = %v, want %v", i, vd[i], want[i])
+		}
+	}
+
+	hs := HStack(a, b)
+	if hs.Rows() != 2 || hs.Cols() != 4 {
+		t.Fatal("hstack shape")
+	}
+	hd := hs.ToDense()
+	wantH := []float64{1, 2, 5, 0, 3, 4, 0, 6}
+	for i := range wantH {
+		if hd[i] != wantH[i] {
+			t.Fatalf("hstack[%d] = %v, want %v", i, hd[i], wantH[i])
+		}
+	}
+}
+
+func TestTrilTriu(t *testing.T) {
+	rt := newRT(t, 2)
+	a := Random(rt, 10, 10, 0.4, 9)
+	lo := a.Tril(0)
+	hi := a.Triu(1)
+	// tril(0) + triu(1) reconstructs A exactly.
+	sum := Add(lo, hi, 1, 1)
+	ad, sd := a.ToDense(), sum.ToDense()
+	for i := range ad {
+		if ad[i] != sd[i] {
+			t.Fatalf("tril+triu != A at %d", i)
+		}
+	}
+	ld := lo.ToDense()
+	for i := int64(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if ld[i*10+j] != 0 {
+				t.Fatalf("tril has upper entry (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEliminateZeros(t *testing.T) {
+	rt := newRT(t, 1)
+	a := NewCSR(rt, 2, 3, []int64{0, 2, 3}, []int64{0, 1, 2}, []float64{1, 0, 2})
+	if a.NNZ() != 3 {
+		t.Fatal("setup")
+	}
+	e := a.EliminateZeros()
+	if e.NNZ() != 2 {
+		t.Fatalf("nnz after elimination = %d, want 2", e.NNZ())
+	}
+	ad, ed := a.ToDense(), e.ToDense()
+	for i := range ad {
+		if ad[i] != ed[i] {
+			t.Fatal("elimination changed values")
+		}
+	}
+}
+
+func TestNNZPerRow(t *testing.T) {
+	rt := newRT(t, 3)
+	a := NewCSR(rt, 4, 4, []int64{0, 2, 2, 5, 6}, []int64{0, 1, 0, 1, 2, 3}, []float64{1, 1, 1, 1, 1, 1})
+	got := a.NNZPerRow().ToSlice()
+	want := []float64{2, 0, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nnz/row = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnaryOpsAndNorms(t *testing.T) {
+	rt := newRT(t, 2)
+	a := FromDense(rt, 2, 2, []float64{-3, 0, 4, -1})
+	b := a.Copy()
+	b.Abs()
+	bd := b.ToDense()
+	if bd[0] != 3 || bd[2] != 4 || bd[3] != 1 {
+		t.Fatalf("abs = %v", bd)
+	}
+	c := a.Copy()
+	c.Power(2)
+	cd := c.ToDense()
+	if cd[0] != 9 || cd[2] != 16 {
+		t.Fatalf("power = %v", cd)
+	}
+	if got := a.MaxAbsValue(); got != 4 {
+		t.Fatalf("maxabs = %v", got)
+	}
+	// Norm1 = max col abs-sum: col0 = 3+4 = 7; NormInf = max row = 4+1 = 5.
+	if got := a.Norm1(); got != 7 {
+		t.Fatalf("norm1 = %v", got)
+	}
+	if got := a.NormInf(); got != 5 {
+		t.Fatalf("norminf = %v", got)
+	}
+	if got := a.FrobeniusNorm(); math.Abs(got-math.Sqrt(9+16+1)) > 1e-12 {
+		t.Fatalf("fro = %v", got)
+	}
+	if a.ToDense()[0] != -3 {
+		t.Fatal("unary ops must not mutate the source copy")
+	}
+}
+
+func TestPowerPanicsOnNonPositive(t *testing.T) {
+	rt := newRT(t, 1)
+	a := Eye(rt, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Power(0) must panic")
+		}
+	}()
+	a.Power(0)
+}
+
+func TestReshape(t *testing.T) {
+	rt := newRT(t, 2)
+	a := FromDense(rt, 2, 6, []float64{
+		1, 0, 2, 0, 0, 3,
+		0, 4, 0, 0, 5, 0,
+	})
+	b := a.Reshape(3, 4)
+	want := []float64{
+		1, 0, 2, 0,
+		0, 3, 0, 4,
+		0, 0, 5, 0,
+	}
+	got := b.ToDense()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reshape[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Identity reshape preserves everything; mismatched counts panic.
+	if !approx(a.Reshape(2, 6).ToDense(), a.ToDense(), 0) {
+		t.Fatal("identity reshape differs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape must panic")
+		}
+	}()
+	a.Reshape(5, 5)
+}

@@ -1,0 +1,367 @@
+// Package cunumeric is the dense half of the reproduction: a distributed
+// NumPy-style array library in the mold of cuNumeric [Bauer & Garland,
+// SC'19], which Legate Sparse composes with. Arrays are backed by legion
+// regions and every operation is launched through the constraint layer
+// with alignment constraints only — exactly the adaptation §2.3/§4.1
+// describe ("we modify the partitioning strategies within cuNumeric to
+// use the constraint-based system").
+//
+// The package is deliberately unaware of the sparse library: the two
+// compose only through shared regions, partitions, and the common
+// mapper, which is the paper's central claim.
+package cunumeric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/constraint"
+	"repro/internal/legion"
+	"repro/internal/machine"
+)
+
+// Array is a distributed one-dimensional array of float64.
+type Array struct {
+	rt     *legion.Runtime
+	region *legion.Region
+}
+
+// Zeros creates an array of n zeros.
+func Zeros(rt *legion.Runtime, n int64) *Array {
+	return &Array{rt: rt, region: rt.CreateRegion("cn.array", n, legion.Float64)}
+}
+
+// FromSlice creates an array holding a copy of data.
+func FromSlice(rt *legion.Runtime, data []float64) *Array {
+	return &Array{rt: rt, region: rt.CreateFloat64("cn.array", data)}
+}
+
+// FromRegion wraps an existing float64 region as an array — the
+// interoperation §3 highlights: sparse matrices are built from regions,
+// so users can construct matrices out of cuNumeric arrays and vice versa.
+func FromRegion(r *legion.Region) *Array {
+	if r.Type() != legion.Float64 {
+		panic(fmt.Sprintf("cunumeric: FromRegion needs float64, got %v", r.Type()))
+	}
+	return &Array{rt: r.Runtime(), region: r}
+}
+
+// Full creates an array of n copies of v.
+func Full(rt *legion.Runtime, n int64, v float64) *Array {
+	a := Zeros(rt, n)
+	a.Fill(v)
+	return a
+}
+
+// Arange creates [0, 1, ..., n-1].
+func Arange(rt *legion.Runtime, n int64) *Array {
+	a := Zeros(rt, n)
+	t := constraint.NewTask(rt, "cn.arange", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		tc.Subspace(0).Each(func(i int64) { d[i] = float64(i) })
+	})
+	t.AddOutput(a.region)
+	t.Execute()
+	return a
+}
+
+// Random creates an array of deterministic pseudo-random values in
+// [0, 1), computed per element from (seed, index) so the result is
+// independent of the partitioning (a property NumPy programs rely on
+// for reproducibility across machine sizes).
+func Random(rt *legion.Runtime, n int64, seed uint64) *Array {
+	a := Zeros(rt, n)
+	t := constraint.NewTask(rt, "cn.random", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		s := tc.Args().(uint64)
+		tc.Subspace(0).Each(func(i int64) { d[i] = Uniform01(s, uint64(i)) })
+	})
+	t.AddOutput(a.region)
+	t.SetArgs(seed)
+	t.Execute()
+	return a
+}
+
+// Uniform01 is the element-wise deterministic generator (splitmix64).
+func Uniform01(seed, i uint64) float64 {
+	z := seed + 0x9e3779b97f4a7c15*(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Normal returns a standard-normal deterministic variate for (seed, i).
+func Normal(seed, i uint64) float64 {
+	u1 := Uniform01(seed, 2*i)
+	u2 := Uniform01(seed, 2*i+1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int64 { return a.region.Size() }
+
+// Region exposes the backing region for cross-library composition.
+func (a *Array) Region() *legion.Region { return a.region }
+
+// Runtime returns the owning runtime.
+func (a *Array) Runtime() *legion.Runtime { return a.rt }
+
+// Destroy releases the array's region to the mapper's allocation pools.
+func (a *Array) Destroy() { a.rt.Destroy(a.region) }
+
+// ToSlice fences the runtime and returns a copy of the array's contents.
+func (a *Array) ToSlice() []float64 {
+	a.rt.Fence()
+	out := make([]float64, a.Len())
+	copy(out, a.region.Float64s())
+	return out
+}
+
+// Fill sets every element to v.
+func (a *Array) Fill(v float64) {
+	t := constraint.NewTask(a.rt, "cn.fill", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		x := tc.Args().(float64)
+		tc.Subspace(0).Each(func(i int64) { d[i] = x })
+	})
+	t.AddOutput(a.region)
+	t.SetArgs(v)
+	t.Execute()
+}
+
+// Copy copies src into dst (dst = src). The arrays must be equal length.
+func Copy(dst, src *Array) {
+	t := constraint.NewTask(dst.rt, "cn.copy", func(tc *legion.TaskContext) {
+		d, s := tc.Float64(0), tc.Float64(1)
+		tc.Subspace(0).Each(func(i int64) { d[i] = s[i] })
+	})
+	vd := t.AddOutput(dst.region)
+	vs := t.AddInput(src.region)
+	t.Align(vd, vs)
+	t.Execute()
+}
+
+// binop launches dst = f(a, b) element-wise with alignment constraints.
+func binop(name string, dst, a, b *Array, f func(x, y float64) float64) {
+	t := constraint.NewTask(dst.rt, name, func(tc *legion.TaskContext) {
+		d, av, bv := tc.Float64(0), tc.Float64(1), tc.Float64(2)
+		tc.Subspace(0).Each(func(i int64) { d[i] = f(av[i], bv[i]) })
+	})
+	vd := t.AddOutput(dst.region)
+	va := t.AddInput(a.region)
+	vb := t.AddInput(b.region)
+	t.Align(vd, va).Align(vd, vb)
+	t.Execute()
+}
+
+// AddInto computes dst = a + b.
+func AddInto(dst, a, b *Array) {
+	binop("cn.add", dst, a, b, func(x, y float64) float64 { return x + y })
+}
+
+// SubInto computes dst = a - b.
+func SubInto(dst, a, b *Array) {
+	binop("cn.sub", dst, a, b, func(x, y float64) float64 { return x - y })
+}
+
+// MulInto computes dst = a * b element-wise.
+func MulInto(dst, a, b *Array) {
+	binop("cn.mul", dst, a, b, func(x, y float64) float64 { return x * y })
+}
+
+// DivInto computes dst = a / b element-wise.
+func DivInto(dst, a, b *Array) {
+	binop("cn.div", dst, a, b, func(x, y float64) float64 { return x / y })
+}
+
+// Add allocates and returns a + b.
+func Add(a, b *Array) *Array { c := Zeros(a.rt, a.Len()); AddInto(c, a, b); return c }
+
+// Sub allocates and returns a - b.
+func Sub(a, b *Array) *Array { c := Zeros(a.rt, a.Len()); SubInto(c, a, b); return c }
+
+// Scale multiplies the array by alpha in place.
+func (a *Array) Scale(alpha float64) {
+	t := constraint.NewTask(a.rt, "cn.scale", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		s := tc.Args().(float64)
+		tc.Subspace(0).Each(func(i int64) { d[i] *= s })
+	})
+	t.AddInOut(a.region)
+	t.SetArgs(alpha)
+	t.Execute()
+}
+
+// AddScalar adds alpha to every element in place.
+func (a *Array) AddScalar(alpha float64) {
+	t := constraint.NewTask(a.rt, "cn.adds", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		s := tc.Args().(float64)
+		tc.Subspace(0).Each(func(i int64) { d[i] += s })
+	})
+	t.AddInOut(a.region)
+	t.SetArgs(alpha)
+	t.Execute()
+}
+
+// AXPY computes y += alpha * x (the BLAS building block of every
+// iterative solver in §5.2).
+func AXPY(alpha float64, x, y *Array) {
+	t := constraint.NewTask(y.rt, "cn.axpy", func(tc *legion.TaskContext) {
+		yv, xv := tc.Float64(0), tc.Float64(1)
+		a := tc.Args().(float64)
+		tc.Subspace(0).Each(func(i int64) { yv[i] += a * xv[i] })
+	})
+	vy := t.AddInOut(y.region)
+	vx := t.AddInput(x.region)
+	t.Align(vy, vx)
+	t.SetArgs(alpha)
+	t.Execute()
+}
+
+// AXPBY computes y = alpha*x + beta*y.
+func AXPBY(alpha float64, x *Array, beta float64, y *Array) {
+	t := constraint.NewTask(y.rt, "cn.axpby", func(tc *legion.TaskContext) {
+		yv, xv := tc.Float64(0), tc.Float64(1)
+		ab := tc.Args().([2]float64)
+		tc.Subspace(0).Each(func(i int64) { yv[i] = ab[0]*xv[i] + ab[1]*yv[i] })
+	})
+	vy := t.AddInOut(y.region)
+	vx := t.AddInput(x.region)
+	t.Align(vy, vx)
+	t.SetArgs([2]float64{alpha, beta})
+	t.Execute()
+}
+
+// Apply computes dst = f(src) element-wise for an arbitrary pure
+// function — the general unary ufunc. f must be side-effect free; it
+// runs concurrently across point tasks.
+func Apply(dst, src *Array, f func(float64) float64) {
+	t := constraint.NewTask(dst.rt, "cn.apply", func(tc *legion.TaskContext) {
+		d, s := tc.Float64(0), tc.Float64(1)
+		tc.Subspace(0).Each(func(i int64) { d[i] = f(s[i]) })
+	})
+	vd := t.AddOutput(dst.region)
+	vs := t.AddInput(src.region)
+	t.Align(vd, vs)
+	t.Execute()
+}
+
+// Exp computes dst = e^src element-wise.
+func Exp(dst, src *Array) { Apply(dst, src, math.Exp) }
+
+// Sqrt computes dst = √src element-wise.
+func Sqrt(dst, src *Array) { Apply(dst, src, math.Sqrt) }
+
+// Abs computes dst = |src| element-wise.
+func Abs(dst, src *Array) { Apply(dst, src, math.Abs) }
+
+// Clamp limits every element of a to [lo, hi] in place.
+func (a *Array) Clamp(lo, hi float64) {
+	t := constraint.NewTask(a.rt, "cn.clamp", func(tc *legion.TaskContext) {
+		d := tc.Float64(0)
+		b := tc.Args().([2]float64)
+		tc.Subspace(0).Each(func(i int64) {
+			if d[i] < b[0] {
+				d[i] = b[0]
+			} else if d[i] > b[1] {
+				d[i] = b[1]
+			}
+		})
+	})
+	t.AddInOut(a.region)
+	t.SetArgs([2]float64{lo, hi})
+	t.Execute()
+}
+
+// RecipClamp computes dst[i] = 1 / max(src[i], 1): the per-row
+// normalization factor for gradients accumulated over variable-length
+// groups (mini-batch SGD with power-law sample counts).
+func RecipClamp(dst, src *Array) {
+	t := constraint.NewTask(dst.rt, "cn.recipclamp", func(tc *legion.TaskContext) {
+		d, s := tc.Float64(0), tc.Float64(1)
+		tc.Subspace(0).Each(func(i int64) {
+			v := s[i]
+			if v < 1 {
+				v = 1
+			}
+			d[i] = 1 / v
+		})
+	})
+	vd := t.AddOutput(dst.region)
+	vs := t.AddInput(src.region)
+	t.Align(vd, vs)
+	t.Execute()
+}
+
+// Gather computes dst[k] = src[idx[k]] for an int64 index region aligned
+// with dst; src's partition is the by-coordinate image of idx, so only
+// the referenced elements move — the same mechanism as a SpMV's x
+// operand.
+func Gather(dst *Array, idx *legion.Region, src *Array) {
+	if idx.Type() != legion.Int64 || idx.Size() != dst.Len() {
+		panic("cunumeric: Gather needs an int64 index region aligned with dst")
+	}
+	t := constraint.NewTask(dst.rt, "cn.gather", func(tc *legion.TaskContext) {
+		d, ix, s := tc.Float64(0), tc.Int64(1), tc.Float64(2)
+		tc.Subspace(0).Each(func(i int64) { d[i] = s[ix[i]] })
+	})
+	vd := t.AddOutput(dst.region)
+	vi := t.AddInput(idx)
+	vs := t.AddInput(src.region)
+	t.Align(vd, vi)
+	t.Image(vi, vs)
+	t.Execute()
+}
+
+// Dot returns the future of a · b.
+func Dot(a, b *Array) *legion.Future {
+	t := constraint.NewTask(a.rt, "cn.dot", func(tc *legion.TaskContext) {
+		av, bv := tc.Float64(0), tc.Float64(1)
+		var s float64
+		tc.Subspace(0).Each(func(i int64) { s += av[i] * bv[i] })
+		tc.Reduce(s)
+	})
+	va := t.AddInput(a.region)
+	vb := t.AddInput(b.region)
+	t.Align(va, vb)
+	t.SetOpClass(machine.Reduction)
+	return t.Execute()
+}
+
+// Sum returns the future of the element sum.
+func Sum(a *Array) *legion.Future {
+	t := constraint.NewTask(a.rt, "cn.sum", func(tc *legion.TaskContext) {
+		av := tc.Float64(0)
+		var s float64
+		tc.Subspace(0).Each(func(i int64) { s += av[i] })
+		tc.Reduce(s)
+	})
+	t.AddInput(a.region)
+	t.SetOpClass(machine.Reduction)
+	return t.Execute()
+}
+
+// Norm returns the Euclidean norm of a (blocking, like
+// numpy.linalg.norm).
+func Norm(a *Array) float64 { return math.Sqrt(Dot(a, a).Get()) }
+
+// MaxAbs returns the future of max |a_i| (reduced via summation of
+// per-point maxima would be wrong, so partials carry the max through a
+// dedicated reduction).
+func MaxAbs(a *Array) float64 {
+	a.rt.Fence()
+	// Max is not a sum reduction; compute on the host after a fence,
+	// matching how SciPy computes amax on materialized data.
+	var m float64
+	for _, v := range a.region.Float64s() {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}

@@ -1,0 +1,307 @@
+package cunumeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/legion"
+	"repro/internal/machine"
+)
+
+func newRT(t testing.TB, gpus int) *legion.Runtime {
+	t.Helper()
+	m := machine.Summit((gpus + 5) / 6)
+	rt := legion.NewRuntime(m, m.Select(machine.GPU, gpus))
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestConstructors(t *testing.T) {
+	rt := newRT(t, 3)
+	z := Zeros(rt, 10)
+	for _, v := range z.ToSlice() {
+		if v != 0 {
+			t.Fatal("Zeros not zero")
+		}
+	}
+	f := Full(rt, 5, 3.5)
+	for _, v := range f.ToSlice() {
+		if v != 3.5 {
+			t.Fatal("Full wrong")
+		}
+	}
+	ar := Arange(rt, 7)
+	for i, v := range ar.ToSlice() {
+		if v != float64(i) {
+			t.Fatalf("Arange[%d] = %v", i, v)
+		}
+	}
+	fs := FromSlice(rt, []float64{1, 2, 3})
+	if got := fs.ToSlice(); got[2] != 3 {
+		t.Fatalf("FromSlice = %v", got)
+	}
+}
+
+func TestRandomIsPartitionIndependent(t *testing.T) {
+	rt1 := newRT(t, 1)
+	rt4 := newRT(t, 4)
+	a := Random(rt1, 100, 42).ToSlice()
+	b := Random(rt4, 100, 42).ToSlice()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d differs across partitionings: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= 1 {
+			t.Fatalf("element %d out of [0,1): %v", i, a[i])
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	rt := newRT(t, 4)
+	a := Arange(rt, 50)
+	b := Full(rt, 50, 2)
+	sum := Add(a, b)
+	diff := Sub(a, b)
+	prod := Zeros(rt, 50)
+	MulInto(prod, a, b)
+	quot := Zeros(rt, 50)
+	DivInto(quot, a, b)
+	s, d, p, q := sum.ToSlice(), diff.ToSlice(), prod.ToSlice(), quot.ToSlice()
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		if s[i] != x+2 || d[i] != x-2 || p[i] != 2*x || q[i] != x/2 {
+			t.Fatalf("elementwise wrong at %d: %v %v %v %v", i, s[i], d[i], p[i], q[i])
+		}
+	}
+}
+
+func TestScaleAXPY(t *testing.T) {
+	rt := newRT(t, 3)
+	x := Arange(rt, 20)
+	y := Full(rt, 20, 1)
+	AXPY(2.0, x, y) // y = 1 + 2i
+	x.Scale(0.5)    // x = i/2
+	AXPBY(4, x, -1, y)
+	// y = 4*(i/2) - (1+2i) = 2i - 1 - 2i = -1
+	for i, v := range y.ToSlice() {
+		if v != -1 {
+			t.Fatalf("y[%d] = %v, want -1", i, v)
+		}
+	}
+}
+
+func TestDotNormSum(t *testing.T) {
+	rt := newRT(t, 4)
+	a := Full(rt, 100, 2)
+	b := Full(rt, 100, 3)
+	if got := Dot(a, b).Get(); got != 600 {
+		t.Fatalf("dot = %v", got)
+	}
+	if got := Sum(a).Get(); got != 200 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := Norm(a); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("norm = %v", got)
+	}
+	c := FromSlice(rt, []float64{1, -5, 3})
+	if got := MaxAbs(c); got != 5 {
+		t.Fatalf("maxabs = %v", got)
+	}
+}
+
+// Property: AXPY agrees with the scalar model for random inputs.
+func TestAXPYProperty(t *testing.T) {
+	rt := newRT(t, 2)
+	f := func(alpha float64, seed uint8) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		x := Random(rt, 64, uint64(seed))
+		y := Random(rt, 64, uint64(seed)+1)
+		xs, ys := x.ToSlice(), y.ToSlice()
+		AXPY(alpha, x, y)
+		got := y.ToSlice()
+		for i := range got {
+			want := ys[i] + alpha*xs[i]
+			if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		x.Destroy()
+		y.Destroy()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	rt := newRT(t, 2)
+	m := MatrixFromSlice(rt, 2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatal("shape wrong")
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	mt := m.Transpose()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatal("transpose shape wrong")
+	}
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i, v := range mt.ToSlice() {
+		if v != want[i] {
+			t.Fatalf("transpose[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// Transpose twice is the identity.
+	mtt := mt.Transpose()
+	orig := m.ToSlice()
+	for i, v := range mtt.ToSlice() {
+		if v != orig[i] {
+			t.Fatalf("double transpose differs at %d", i)
+		}
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	rt := newRT(t, 3)
+	x := RandomMatrix(rt, 8, 4, 1, 1.0)
+	y := ZerosMatrix(rt, 8, 4)
+	CopyMatrix(y, x)
+	AXPYMatrix(-1, x, y)
+	if got := FrobeniusNorm2(y).Get(); got != 0 {
+		t.Fatalf("copy-then-subtract norm = %v, want 0", got)
+	}
+	y2 := ZerosMatrix(rt, 8, 4)
+	y2.FillMatrix(2)
+	y2.ScaleMatrix(3)
+	for _, v := range y2.ToSlice() {
+		if v != 6 {
+			t.Fatal("fill+scale wrong")
+		}
+	}
+}
+
+func TestRowPartitionCoversWholeRows(t *testing.T) {
+	rt := newRT(t, 3)
+	m := ZerosMatrix(rt, 10, 7)
+	p := m.RowPartition(3)
+	if !p.Disjoint() {
+		t.Fatal("row partition must be disjoint")
+	}
+	var total int64
+	for c := 0; c < 3; c++ {
+		sz := p.Subspace(c).Size()
+		if sz%7 != 0 {
+			t.Fatalf("color %d has partial rows: %d elements", c, sz)
+		}
+		total += sz
+	}
+	if total != 70 {
+		t.Fatalf("partition covers %d elements, want 70", total)
+	}
+}
+
+// TestCrossOpPartitionReuse: successive cuNumeric ops on the same array
+// reuse its key partition; the steady state moves no data.
+func TestCrossOpPartitionReuse(t *testing.T) {
+	rt := newRT(t, 4)
+	x := Random(rt, 4096, 9)
+	y := Zeros(rt, 4096)
+	Copy(y, x)
+	rt.Fence()
+	rt.ResetMetrics()
+	for i := 0; i < 5; i++ {
+		AXPY(0.5, x, y)
+		y.Scale(0.99)
+	}
+	rt.Fence()
+	if moved := rt.Stats().MovedBytes(); moved != 0 {
+		t.Errorf("aligned op chain moved %d bytes, want 0", moved)
+	}
+}
+
+func TestNormalVariates(t *testing.T) {
+	n := 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := Normal(123, uint64(i))
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestUnaryUfuncs(t *testing.T) {
+	rt := newRT(t, 3)
+	src := FromSlice(rt, []float64{-4, 0, 1, 9})
+	dst := Zeros(rt, 4)
+	Abs(dst, src)
+	if got := dst.ToSlice(); got[0] != 4 || got[3] != 9 {
+		t.Fatalf("abs = %v", got)
+	}
+	Sqrt(dst, dst)
+	if got := dst.ToSlice(); got[0] != 2 || got[3] != 3 {
+		t.Fatalf("sqrt = %v", got)
+	}
+	Exp(dst, Zeros(rt, 4))
+	for _, v := range dst.ToSlice() {
+		if v != 1 {
+			t.Fatalf("exp(0) = %v", v)
+		}
+	}
+	c := FromSlice(rt, []float64{-5, 0.5, 7})
+	c.Clamp(0, 1)
+	if got := c.ToSlice(); got[0] != 0 || got[1] != 0.5 || got[2] != 1 {
+		t.Fatalf("clamp = %v", got)
+	}
+	Apply(dst, src, func(x float64) float64 { return 2 * x })
+	if got := dst.ToSlice(); got[0] != -8 {
+		t.Fatalf("apply = %v", got)
+	}
+}
+
+func TestMulRowsAndRecipClamp(t *testing.T) {
+	rt := newRT(t, 3)
+	m := MatrixFromSlice(rt, 3, 2, []float64{1, 2, 3, 4, 5, 6})
+	s := FromSlice(rt, []float64{2, 0.5, 10})
+	MulRows(m, s)
+	want := []float64{2, 4, 1.5, 2, 50, 60}
+	for i, v := range m.ToSlice() {
+		if v != want[i] {
+			t.Fatalf("mulrows[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	src := FromSlice(rt, []float64{0, 0.5, 4})
+	dst := Zeros(rt, 3)
+	RecipClamp(dst, src)
+	got := dst.ToSlice()
+	if got[0] != 1 || got[1] != 1 || got[2] != 0.25 {
+		t.Fatalf("recipclamp = %v", got)
+	}
+}
+
+func TestGather(t *testing.T) {
+	rt := newRT(t, 2)
+	src := FromSlice(rt, []float64{10, 20, 30, 40})
+	idx := rt.CreateInt64("idx", []int64{3, 0, 2, 2, 1})
+	dst := Zeros(rt, 5)
+	Gather(dst, idx, src)
+	want := []float64{40, 10, 30, 30, 20}
+	for i, v := range dst.ToSlice() {
+		if v != want[i] {
+			t.Fatalf("gather[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}

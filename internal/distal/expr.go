@@ -1,0 +1,200 @@
+// Package distal is a miniature reimplementation of the DISTAL sparse
+// tensor algebra compiler [Yadav et al., PLDI'22 / SC'22] as used by
+// Legate Sparse (§5.1): a DSL for declaring (1) the desired tensor
+// computation in einsum form, (2) the sparse format of each operand, and
+// (3) a schedule (divide / distribute / parallelize); Compile turns a
+// program into an executable kernel.
+//
+// The real DISTAL emits C++/CUDA source ahead of time; here "generation"
+// assembles Go closures from composable loop templates at init time.
+// The architectural property the paper depends on is preserved: the
+// performance-critical kernel variants for every (operation × format ×
+// processor kind) combination are produced from a single high-level
+// specification and registered for dynamic dispatch, instead of being
+// hand-written one by one. Unsupported programs are rejected at compile
+// time with descriptive errors, mirroring a real compiler front end.
+package distal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode is the storage format of one tensor dimension, following the
+// level-format vocabulary of TACO/DISTAL.
+type Mode int
+
+const (
+	// Dense levels are stored implicitly: every coordinate exists.
+	Dense Mode = iota
+	// Compressed levels store only nonzero coordinates (pos + crd arrays).
+	Compressed
+	// Singleton levels store exactly one coordinate per parent position;
+	// paired with Compressed they express COO-style formats.
+	Singleton
+	// Diagonal levels store a band of dense diagonals identified by
+	// offsets (SciPy's DIA format).
+	Diagonal
+	// Blocked levels store dense square tiles per compressed coordinate
+	// (SciPy's BSR format); kernels for it are future work, as in §5.4.
+	Blocked
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Dense:
+		return "Dense"
+	case Compressed:
+		return "Compressed"
+	case Singleton:
+		return "Singleton"
+	case Diagonal:
+		return "Diagonal"
+	case Blocked:
+		return "Blocked"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Format is the per-dimension storage of a tensor; {Dense, Compressed}
+// is CSR, {Dense} a dense vector, {Dense, Dense} a row-major dense
+// matrix.
+type Format []Mode
+
+func (f Format) String() string {
+	parts := make([]string, len(f))
+	for i, m := range f {
+		parts[i] = m.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Equal reports whether two formats are identical.
+func (f Format) Equal(g Format) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i := range f {
+		if f[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Common formats.
+var (
+	CSR         = Format{Dense, Compressed}
+	DIA         = Format{Dense, Diagonal}
+	BSRFormat   = Format{Dense, Blocked}
+	DenseVector = Format{Dense}
+	DenseMatrix = Format{Dense, Dense}
+)
+
+// IndexVar names an iteration variable in a tensor expression.
+type IndexVar string
+
+// Access is one tensor access A(i,j) in an expression.
+type Access struct {
+	Tensor string
+	Vars   []IndexVar
+}
+
+// A builds an access.
+func A(tensor string, vars ...IndexVar) Access {
+	return Access{Tensor: tensor, Vars: vars}
+}
+
+func (a Access) String() string {
+	vs := make([]string, len(a.Vars))
+	for i, v := range a.Vars {
+		vs[i] = string(v)
+	}
+	return fmt.Sprintf("%s(%s)", a.Tensor, strings.Join(vs, ","))
+}
+
+// Assign is the computation lhs = Π rhs, with summation implied over
+// index variables appearing only on the right (einsum semantics).
+// MulSparse marks element-wise multiplication under the sparse operand's
+// nonzero pattern (the ⊙ of an SDDMM).
+type Assign struct {
+	LHS Access
+	RHS []Access
+}
+
+func (s Assign) String() string {
+	rs := make([]string, len(s.RHS))
+	for i, r := range s.RHS {
+		rs[i] = r.String()
+	}
+	return fmt.Sprintf("%s = %s", s.LHS, strings.Join(rs, " * "))
+}
+
+// Target is the processor variety a parallelize directive names.
+type Target int
+
+const (
+	// CPUThread parallelizes across the threads of one CPU socket.
+	CPUThread Target = iota
+	// GPUThread parallelizes across GPU threads.
+	GPUThread
+)
+
+func (t Target) String() string {
+	if t == CPUThread {
+		return "CPUThread"
+	}
+	return "GPUThread"
+}
+
+// Schedule is the ordered list of scheduling directives applied to a
+// computation, mirroring Figure 6 of the paper:
+//
+//	y.schedule().divide(i, io, ii, procs).distribute(io).
+//	    communicate(io, {y, A, x}).parallelize(ii, CPUThread)
+type Schedule struct {
+	directives []directive
+}
+
+type directive struct {
+	kind    string // "divide", "distribute", "communicate", "parallelize"
+	v       IndexVar
+	outer   IndexVar
+	inner   IndexVar
+	target  Target
+	tensors []string
+}
+
+// Divide splits v into outer and inner variables with pieces blocks.
+func (s Schedule) Divide(v, outer, inner IndexVar) Schedule {
+	s.directives = append(s.directives, directive{kind: "divide", v: v, outer: outer, inner: inner})
+	return s
+}
+
+// Distribute maps the given variable's iterations onto processors.
+func (s Schedule) Distribute(v IndexVar) Schedule {
+	s.directives = append(s.directives, directive{kind: "distribute", v: v})
+	return s
+}
+
+// Communicate declares which tensors must be materialized per iteration
+// of v (the runtime's image constraints realize this).
+func (s Schedule) Communicate(v IndexVar, tensors ...string) Schedule {
+	s.directives = append(s.directives, directive{kind: "communicate", v: v, tensors: tensors})
+	return s
+}
+
+// Parallelize maps v's iterations onto the threads of a processor.
+func (s Schedule) Parallelize(v IndexVar, t Target) Schedule {
+	s.directives = append(s.directives, directive{kind: "parallelize", v: v, target: t})
+	return s
+}
+
+// Program is a complete kernel specification handed to Compile.
+type Program struct {
+	Name     string
+	Compute  Assign
+	Formats  map[string]Format
+	Schedule Schedule
+}

@@ -1,0 +1,157 @@
+package distal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OpKey identifies one kernel variant: the logical operation, the sparse
+// operand's format, and the processor variety. Legate Sparse dispatches
+// dynamically across this statically generated variant matrix (§5.1):
+// the same SpMV has distinct entries for (CSR, CPU), (CSR, GPU), etc.
+type OpKey struct {
+	Op     string
+	Format string
+	Target Target
+}
+
+func (k OpKey) String() string {
+	return fmt.Sprintf("%s/%s/%v", k.Op, k.Format, k.Target)
+}
+
+// Registry holds generated kernels for dynamic dispatch.
+type Registry struct {
+	mu      sync.RWMutex
+	kernels map[OpKey]*Kernel
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{kernels: map[OpKey]*Kernel{}}
+}
+
+// Register adds a kernel variant under (op, format, kernel.Target).
+func (r *Registry) Register(op string, format Format, k *Kernel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kernels[OpKey{Op: op, Format: format.String(), Target: k.Target}] = k
+}
+
+// Lookup finds the kernel variant for (op, format, target). The second
+// result reports whether a variant exists; callers fall back to a slower
+// path (or report the format conversion they must perform) when it does
+// not — the cost the paper's third composition layer is about.
+func (r *Registry) Lookup(op string, format Format, target Target) (*Kernel, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k, ok := r.kernels[OpKey{Op: op, Format: format.String(), Target: target}]
+	return k, ok
+}
+
+// MustLookup is Lookup that panics on a missing variant.
+func (r *Registry) MustLookup(op string, format Format, target Target) *Kernel {
+	k, ok := r.Lookup(op, format, target)
+	if !ok {
+		panic(fmt.Sprintf("distal: no kernel variant for %s/%s/%v", op, format, target))
+	}
+	return k
+}
+
+// Keys returns all registered variant keys, sorted, for inventory
+// reporting and tests.
+func (r *Registry) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.kernels))
+	for k := range r.kernels {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Standard is the global registry populated at package init with the
+// DISTAL-generated kernels Legate Sparse's tensor-algebra operations
+// dispatch into.
+var Standard = NewRegistry()
+
+func init() {
+	GenerateStandardKernels(Standard)
+}
+
+// GenerateStandardKernels ahead-of-time compiles the kernel variants used
+// by the sparse library: for each operation, one variant per processor
+// variety, with the schedule of Figure 6 (divide the rows across
+// processors, distribute, parallelize the local tile on the target).
+func GenerateStandardKernels(reg *Registry) {
+	i, j, k := IndexVar("i"), IndexVar("j"), IndexVar("k")
+	io, ii := IndexVar("io"), IndexVar("ii")
+	baseSched := func(t Target) Schedule {
+		return Schedule{}.
+			Divide(i, io, ii).
+			Distribute(io).
+			Communicate(io).
+			Parallelize(ii, t)
+	}
+	for _, target := range []Target{CPUThread, GPUThread} {
+		sched := baseSched(target)
+
+		reg.Register("spmv", CSR, MustCompile(Program{
+			Name:    "spmv_csr",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("x", j)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": CSR, "x": DenseVector,
+			},
+			Schedule: sched,
+		}))
+
+		// CSC SpMV: the matrix is stored compressed over columns, which
+		// is the CSR of the transposed pattern; the generated kernel
+		// scatters into y.
+		reg.Register("spmv_csc", CSR, MustCompile(Program{
+			Name:    "spmv_csc",
+			Compute: Assign{LHS: A("y", j), RHS: []Access{A("A", i, j), A("x", i)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": CSR, "x": DenseVector,
+			},
+			Schedule: sched,
+		}))
+
+		reg.Register("spmv", DIA, MustCompile(Program{
+			Name:    "spmv_dia",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("x", j)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": DIA, "x": DenseVector,
+			},
+			Schedule: sched,
+		}))
+
+		reg.Register("spmm", CSR, MustCompile(Program{
+			Name:    "spmm_csr",
+			Compute: Assign{LHS: A("Y", i, k), RHS: []Access{A("A", i, j), A("X", j, k)}},
+			Formats: map[string]Format{
+				"Y": DenseMatrix, "A": CSR, "X": DenseMatrix,
+			},
+			Schedule: sched,
+		}))
+
+		reg.Register("sddmm", CSR, MustCompile(Program{
+			Name:    "sddmm_csr",
+			Compute: Assign{LHS: A("R", i, j), RHS: []Access{A("A", i, j), A("B", i, k), A("C", j, k)}},
+			Formats: map[string]Format{
+				"R": CSR, "A": CSR, "B": DenseMatrix, "C": DenseMatrix,
+			},
+			Schedule: sched,
+		}))
+
+		reg.Register("row_sum", CSR, MustCompile(Program{
+			Name:    "row_sum_csr",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": CSR,
+			},
+			Schedule: sched,
+		}))
+	}
+}

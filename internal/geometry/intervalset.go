@@ -1,0 +1,245 @@
+package geometry
+
+import (
+	"sort"
+	"strings"
+)
+
+// IntervalSet is a set of int64 indices represented as sorted, disjoint,
+// non-adjacent intervals. The zero value is the empty set and is ready to
+// use. IntervalSet values are immutable from the caller's perspective:
+// all operations return new sets and never mutate their receivers, which
+// makes them safe to share across point tasks running in parallel.
+type IntervalSet struct {
+	rects []Rect // sorted by Lo; pairwise disjoint and non-adjacent
+}
+
+// NewIntervalSet builds a canonical IntervalSet from arbitrary intervals,
+// which may be empty, unsorted, overlapping, or adjacent.
+func NewIntervalSet(rects ...Rect) IntervalSet {
+	rs := make([]Rect, 0, len(rects))
+	for _, r := range rects {
+		if !r.Empty() {
+			rs = append(rs, r)
+		}
+	}
+	if len(rs) == 0 {
+		return IntervalSet{}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 { // overlapping or adjacent: merge
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return IntervalSet{rects: out}
+}
+
+// FromPoints builds an IntervalSet from individual indices, which may be
+// unsorted and contain duplicates. It is used to materialize by-coordinate
+// image partitions (Figure 2b of the paper), where a crd region names the
+// individual dense indices each sub-region touches.
+func FromPoints(points []int64) IntervalSet {
+	if len(points) == 0 {
+		return IntervalSet{}
+	}
+	ps := make([]int64, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	rects := make([]Rect, 0, 8)
+	cur := Rect{Lo: ps[0], Hi: ps[0]}
+	for _, p := range ps[1:] {
+		if p <= cur.Hi+1 {
+			if p > cur.Hi {
+				cur.Hi = p
+			}
+		} else {
+			rects = append(rects, cur)
+			cur = Rect{Lo: p, Hi: p}
+		}
+	}
+	rects = append(rects, cur)
+	return IntervalSet{rects: rects}
+}
+
+// Rects returns the canonical intervals of s in increasing order.
+// The returned slice must not be modified.
+func (s IntervalSet) Rects() []Rect { return s.rects }
+
+// Empty reports whether s contains no indices.
+func (s IntervalSet) Empty() bool { return len(s.rects) == 0 }
+
+// Size returns the number of indices in s.
+func (s IntervalSet) Size() int64 {
+	var n int64
+	for _, r := range s.rects {
+		n += r.Size()
+	}
+	return n
+}
+
+// Bounds returns the smallest interval containing every index of s.
+func (s IntervalSet) Bounds() Rect {
+	if s.Empty() {
+		return EmptyRect
+	}
+	return Rect{Lo: s.rects[0].Lo, Hi: s.rects[len(s.rects)-1].Hi}
+}
+
+// Contains reports whether index p is a member of s.
+func (s IntervalSet) Contains(p int64) bool {
+	i := sort.Search(len(s.rects), func(i int) bool { return s.rects[i].Hi >= p })
+	return i < len(s.rects) && s.rects[i].Contains(p)
+}
+
+// ContainsSet reports whether t is a subset of s.
+func (s IntervalSet) ContainsSet(t IntervalSet) bool {
+	return t.Subtract(s).Empty()
+}
+
+// Union returns the set of indices in s or t.
+func (s IntervalSet) Union(t IntervalSet) IntervalSet {
+	if s.Empty() {
+		return t
+	}
+	if t.Empty() {
+		return s
+	}
+	all := make([]Rect, 0, len(s.rects)+len(t.rects))
+	all = append(all, s.rects...)
+	all = append(all, t.rects...)
+	return NewIntervalSet(all...)
+}
+
+// UnionRect returns s with the indices of r added.
+func (s IntervalSet) UnionRect(r Rect) IntervalSet {
+	if r.Empty() {
+		return s
+	}
+	return s.Union(IntervalSet{rects: []Rect{r}})
+}
+
+// Intersect returns the set of indices in both s and t, via a linear merge
+// of the two sorted interval lists.
+func (s IntervalSet) Intersect(t IntervalSet) IntervalSet {
+	var out []Rect
+	i, j := 0, 0
+	for i < len(s.rects) && j < len(t.rects) {
+		a, b := s.rects[i], t.rects[j]
+		if x := a.Intersect(b); !x.Empty() {
+			out = append(out, x)
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return IntervalSet{rects: out}
+}
+
+// IntersectRect returns the indices of s that lie within r.
+func (s IntervalSet) IntersectRect(r Rect) IntervalSet {
+	if r.Empty() || s.Empty() {
+		return IntervalSet{}
+	}
+	return s.Intersect(IntervalSet{rects: []Rect{r}})
+}
+
+// Subtract returns the set of indices in s but not in t.
+func (s IntervalSet) Subtract(t IntervalSet) IntervalSet {
+	if s.Empty() || t.Empty() {
+		return s
+	}
+	var out []Rect
+	j := 0
+	for _, a := range s.rects {
+		lo := a.Lo
+		for j < len(t.rects) && t.rects[j].Hi < lo {
+			j++
+		}
+		k := j
+		for k < len(t.rects) && t.rects[k].Lo <= a.Hi {
+			b := t.rects[k]
+			if b.Lo > lo {
+				out = append(out, Rect{Lo: lo, Hi: b.Lo - 1})
+			}
+			if b.Hi+1 > lo {
+				lo = b.Hi + 1
+			}
+			if lo > a.Hi {
+				break
+			}
+			k++
+		}
+		if lo <= a.Hi {
+			out = append(out, Rect{Lo: lo, Hi: a.Hi})
+		}
+	}
+	return IntervalSet{rects: out}
+}
+
+// Overlaps reports whether s and t share at least one index, without
+// materializing the intersection.
+func (s IntervalSet) Overlaps(t IntervalSet) bool {
+	i, j := 0, 0
+	for i < len(s.rects) && j < len(t.rects) {
+		if s.rects[i].Overlaps(t.rects[j]) {
+			return true
+		}
+		if s.rects[i].Hi < t.rects[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same indices.
+func (s IntervalSet) Equal(t IntervalSet) bool {
+	if len(s.rects) != len(t.rects) {
+		return false
+	}
+	for i := range s.rects {
+		if !s.rects[i].Equal(t.rects[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Shift translates every index of s by delta.
+func (s IntervalSet) Shift(delta int64) IntervalSet {
+	out := make([]Rect, len(s.rects))
+	for i, r := range s.rects {
+		out[i] = r.Shift(delta)
+	}
+	return IntervalSet{rects: out}
+}
+
+// Each calls f for every index in s in increasing order.
+func (s IntervalSet) Each(f func(int64)) {
+	for _, r := range s.rects {
+		for p := r.Lo; p <= r.Hi; p++ {
+			f(p)
+		}
+	}
+}
+
+func (s IntervalSet) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.rects))
+	for i, r := range s.rects {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

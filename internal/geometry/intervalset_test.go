@@ -1,0 +1,222 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refSet is a brute-force model of IntervalSet over a small universe,
+// used as the oracle for property tests.
+type refSet map[int64]bool
+
+func toRef(s IntervalSet) refSet {
+	m := refSet{}
+	s.Each(func(p int64) { m[p] = true })
+	return m
+}
+
+func refEqual(a, b refSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomSet(rng *rand.Rand) IntervalSet {
+	n := rng.Intn(6)
+	rects := make([]Rect, n)
+	for i := range rects {
+		lo := rng.Int63n(64)
+		rects[i] = NewRect(lo, lo+rng.Int63n(16))
+	}
+	return NewIntervalSet(rects...)
+}
+
+func TestIntervalSetCanonical(t *testing.T) {
+	s := NewIntervalSet(NewRect(5, 9), NewRect(0, 3), NewRect(4, 4), NewRect(20, 25), EmptyRect)
+	// [0,3] [4,4] [5,9] merge into [0,9]; [20,25] stays.
+	rs := s.Rects()
+	if len(rs) != 2 || !rs[0].Equal(NewRect(0, 9)) || !rs[1].Equal(NewRect(20, 25)) {
+		t.Fatalf("canonicalization wrong: %v", s)
+	}
+	if s.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", s.Size())
+	}
+	if !s.Bounds().Equal(NewRect(0, 25)) {
+		t.Fatalf("Bounds = %v", s.Bounds())
+	}
+}
+
+func TestIntervalSetZeroValue(t *testing.T) {
+	var s IntervalSet
+	if !s.Empty() || s.Size() != 0 {
+		t.Fatal("zero IntervalSet must be empty")
+	}
+	if !s.Union(NewIntervalSet(NewRect(1, 2))).Equal(NewIntervalSet(NewRect(1, 2))) {
+		t.Fatal("union with zero value broken")
+	}
+	if !s.Intersect(NewIntervalSet(NewRect(1, 2))).Empty() {
+		t.Fatal("intersect with zero value broken")
+	}
+	if !s.Subtract(NewIntervalSet(NewRect(1, 2))).Empty() {
+		t.Fatal("subtract from zero value broken")
+	}
+}
+
+func TestIntervalSetContains(t *testing.T) {
+	s := NewIntervalSet(NewRect(0, 3), NewRect(10, 12))
+	for _, p := range []int64{0, 3, 10, 12} {
+		if !s.Contains(p) {
+			t.Errorf("should contain %d", p)
+		}
+	}
+	for _, p := range []int64{-1, 4, 9, 13} {
+		if s.Contains(p) {
+			t.Errorf("should not contain %d", p)
+		}
+	}
+}
+
+func TestIntervalSetSubtractCases(t *testing.T) {
+	s := NewIntervalSet(NewRect(0, 9))
+	got := s.Subtract(NewIntervalSet(NewRect(3, 5)))
+	want := NewIntervalSet(NewRect(0, 2), NewRect(6, 9))
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Subtracting a superset empties the set.
+	if !s.Subtract(NewIntervalSet(NewRect(-5, 50))).Empty() {
+		t.Fatal("subtracting superset should give empty")
+	}
+	// Subtracting a disjoint set is identity.
+	if !s.Subtract(NewIntervalSet(NewRect(20, 30))).Equal(s) {
+		t.Fatal("subtracting disjoint set should be identity")
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	s := FromPoints([]int64{5, 1, 2, 2, 3, 9, 8})
+	want := NewIntervalSet(NewRect(1, 3), NewRect(5, 5), NewRect(8, 9))
+	if !s.Equal(want) {
+		t.Fatalf("got %v want %v", s, want)
+	}
+	if !FromPoints(nil).Empty() {
+		t.Fatal("FromPoints(nil) must be empty")
+	}
+}
+
+func TestIntervalSetShift(t *testing.T) {
+	s := NewIntervalSet(NewRect(0, 2), NewRect(5, 6)).Shift(100)
+	want := NewIntervalSet(NewRect(100, 102), NewRect(105, 106))
+	if !s.Equal(want) {
+		t.Fatalf("got %v want %v", s, want)
+	}
+}
+
+// Property: all binary set operations agree with the brute-force model.
+func TestIntervalSetAlgebraProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rng), randomSet(rng)
+		ra, rb := toRef(a), toRef(b)
+
+		union := toRef(a.Union(b))
+		inter := toRef(a.Intersect(b))
+		diff := toRef(a.Subtract(b))
+
+		wantUnion, wantInter, wantDiff := refSet{}, refSet{}, refSet{}
+		for k := range ra {
+			wantUnion[k] = true
+			if rb[k] {
+				wantInter[k] = true
+			} else {
+				wantDiff[k] = true
+			}
+		}
+		for k := range rb {
+			wantUnion[k] = true
+		}
+		if !refEqual(union, wantUnion) || !refEqual(inter, wantInter) || !refEqual(diff, wantDiff) {
+			return false
+		}
+		// Overlaps must agree with non-empty intersection.
+		if a.Overlaps(b) != (len(wantInter) > 0) {
+			return false
+		}
+		// ContainsSet must agree with the model.
+		sub := true
+		for k := range rb {
+			if !ra[k] {
+				sub = false
+				break
+			}
+		}
+		return a.ContainsSet(b) == sub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical form is always sorted, disjoint, and non-adjacent.
+func TestIntervalSetCanonicalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSet(rng).Union(randomSet(rng)).Subtract(randomSet(rng))
+		rs := s.Rects()
+		for i, r := range rs {
+			if r.Empty() {
+				return false
+			}
+			if i > 0 && rs[i-1].Hi+1 >= r.Lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity A \ (A \ B) == A ∩ B.
+func TestIntervalSetDoubleSubtract(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rng), randomSet(rng)
+		return a.Subtract(a.Subtract(b)).Equal(a.Intersect(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntervalSetUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([]IntervalSet, 64)
+	for i := range sets {
+		sets[i] = randomSet(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sets[i%64].Union(sets[(i+1)%64])
+	}
+}
+
+func BenchmarkFromPoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]int64, 4096)
+	for i := range pts {
+		pts[i] = rng.Int63n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromPoints(pts)
+	}
+}

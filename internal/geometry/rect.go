@@ -1,0 +1,169 @@
+// Package geometry provides the index-space algebra used throughout the
+// runtime: inclusive integer intervals (Rect), sets of disjoint intervals
+// (IntervalSet), and tilings of index spaces into blocks.
+//
+// Regions in the legion package are one-dimensional index spaces; dense
+// matrices are mapped onto them in row-major order. All partitioning,
+// image, and coherence computations reduce to operations on Rect and
+// IntervalSet values, so this package is deliberately small, allocation
+// conscious, and heavily tested (including property-based tests of the
+// set-algebra laws).
+package geometry
+
+import "fmt"
+
+// Rect is an inclusive interval [Lo, Hi] of int64 indices.
+// A Rect with Lo > Hi is empty; EmptyRect is the canonical empty value.
+type Rect struct {
+	Lo, Hi int64
+}
+
+// EmptyRect is the canonical empty interval.
+var EmptyRect = Rect{Lo: 0, Hi: -1}
+
+// NewRect returns the interval [lo, hi]. If lo > hi the result is empty.
+func NewRect(lo, hi int64) Rect { return Rect{Lo: lo, Hi: hi} }
+
+// PointRect returns the singleton interval [p, p].
+func PointRect(p int64) Rect { return Rect{Lo: p, Hi: p} }
+
+// Empty reports whether r contains no indices.
+func (r Rect) Empty() bool { return r.Lo > r.Hi }
+
+// Size returns the number of indices in r (0 if empty).
+func (r Rect) Size() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Hi - r.Lo + 1
+}
+
+// Contains reports whether index p lies within r.
+func (r Rect) Contains(p int64) bool { return p >= r.Lo && p <= r.Hi }
+
+// ContainsRect reports whether s is a (possibly empty) subset of r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.Lo >= r.Lo && s.Hi <= r.Hi
+}
+
+// Overlaps reports whether r and s share at least one index.
+func (r Rect) Overlaps(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.Lo <= s.Hi && s.Lo <= r.Hi
+}
+
+// Intersect returns the interval of indices common to r and s.
+func (r Rect) Intersect(s Rect) Rect {
+	if !r.Overlaps(s) {
+		return EmptyRect
+	}
+	return Rect{Lo: max64(r.Lo, s.Lo), Hi: min64(r.Hi, s.Hi)}
+}
+
+// Union returns the smallest interval containing both r and s
+// (the bounding hull, not the set union).
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{Lo: min64(r.Lo, s.Lo), Hi: max64(r.Hi, s.Hi)}
+}
+
+// Adjacent reports whether r and s touch without overlapping, i.e. their
+// union as a set is a single interval but their intersection is empty.
+func (r Rect) Adjacent(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.Hi+1 == s.Lo || s.Hi+1 == r.Lo
+}
+
+// Shift translates r by delta.
+func (r Rect) Shift(delta int64) Rect {
+	if r.Empty() {
+		return r
+	}
+	return Rect{Lo: r.Lo + delta, Hi: r.Hi + delta}
+}
+
+// Equal reports whether r and s describe the same set of indices.
+// All empty intervals compare equal.
+func (r Rect) Equal(s Rect) bool {
+	if r.Empty() && s.Empty() {
+		return true
+	}
+	return r.Lo == s.Lo && r.Hi == s.Hi
+}
+
+func (r Rect) String() string {
+	if r.Empty() {
+		return "[∅]"
+	}
+	return fmt.Sprintf("[%d,%d]", r.Lo, r.Hi)
+}
+
+// Tile partitions domain into parts contiguous blocks of nearly equal size,
+// in index order. When parts exceeds the number of indices, trailing blocks
+// are empty. Tile panics if parts is not positive.
+func Tile(domain Rect, parts int) []Rect {
+	if parts <= 0 {
+		panic("geometry: Tile requires parts > 0")
+	}
+	out := make([]Rect, parts)
+	n := domain.Size()
+	base := n / int64(parts)
+	rem := n % int64(parts)
+	lo := domain.Lo
+	for c := 0; c < parts; c++ {
+		sz := base
+		if int64(c) < rem {
+			sz++
+		}
+		if sz == 0 {
+			out[c] = EmptyRect
+			continue
+		}
+		out[c] = Rect{Lo: lo, Hi: lo + sz - 1}
+		lo += sz
+	}
+	return out
+}
+
+// TileBySize partitions domain into contiguous blocks of at most size
+// indices each. TileBySize panics if size is not positive.
+func TileBySize(domain Rect, size int64) []Rect {
+	if size <= 0 {
+		panic("geometry: TileBySize requires size > 0")
+	}
+	var out []Rect
+	for lo := domain.Lo; lo <= domain.Hi; lo += size {
+		hi := min64(lo+size-1, domain.Hi)
+		out = append(out, Rect{Lo: lo, Hi: hi})
+	}
+	if out == nil {
+		out = []Rect{}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(3, 7)
+	if r.Empty() {
+		t.Fatal("NewRect(3,7) should not be empty")
+	}
+	if got := r.Size(); got != 5 {
+		t.Fatalf("Size = %d, want 5", got)
+	}
+	if !r.Contains(3) || !r.Contains(7) || r.Contains(8) || r.Contains(2) {
+		t.Fatalf("Contains wrong for %v", r)
+	}
+	if EmptyRect.Size() != 0 || !EmptyRect.Empty() {
+		t.Fatal("EmptyRect must be empty with size 0")
+	}
+	if p := PointRect(4); p.Size() != 1 || !p.Contains(4) {
+		t.Fatalf("PointRect(4) wrong: %v", p)
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	cases := []struct {
+		a, b, inter, union Rect
+	}{
+		{NewRect(0, 4), NewRect(3, 9), NewRect(3, 4), NewRect(0, 9)},
+		{NewRect(0, 4), NewRect(5, 9), EmptyRect, NewRect(0, 9)},
+		{NewRect(0, 9), NewRect(2, 3), NewRect(2, 3), NewRect(0, 9)},
+		{EmptyRect, NewRect(2, 3), EmptyRect, NewRect(2, 3)},
+		{EmptyRect, EmptyRect, EmptyRect, EmptyRect},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersect(c.b); !got.Equal(c.inter) {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.inter)
+		}
+		if got := c.a.Union(c.b); !got.Equal(c.union) {
+			t.Errorf("%v ∪ %v = %v, want %v", c.a, c.b, got, c.union)
+		}
+	}
+}
+
+func TestRectAdjacent(t *testing.T) {
+	if !NewRect(0, 4).Adjacent(NewRect(5, 9)) {
+		t.Error("[0,4] and [5,9] are adjacent")
+	}
+	if NewRect(0, 4).Adjacent(NewRect(4, 9)) {
+		t.Error("[0,4] and [4,9] overlap, not adjacent")
+	}
+	if NewRect(0, 4).Adjacent(NewRect(6, 9)) {
+		t.Error("[0,4] and [6,9] have a gap")
+	}
+	if EmptyRect.Adjacent(NewRect(0, 1)) {
+		t.Error("empty rect is never adjacent")
+	}
+}
+
+func TestRectShiftContains(t *testing.T) {
+	r := NewRect(2, 5).Shift(10)
+	if !r.Equal(NewRect(12, 15)) {
+		t.Fatalf("Shift = %v", r)
+	}
+	if !NewRect(0, 9).ContainsRect(NewRect(3, 4)) {
+		t.Error("[0,9] contains [3,4]")
+	}
+	if NewRect(0, 9).ContainsRect(NewRect(3, 14)) {
+		t.Error("[0,9] does not contain [3,14]")
+	}
+	if !NewRect(0, 9).ContainsRect(EmptyRect) {
+		t.Error("every rect contains the empty rect")
+	}
+}
+
+func TestTile(t *testing.T) {
+	dom := NewRect(0, 9)
+	blocks := Tile(dom, 3)
+	want := []Rect{NewRect(0, 3), NewRect(4, 6), NewRect(7, 9)}
+	if len(blocks) != 3 {
+		t.Fatalf("len = %d", len(blocks))
+	}
+	for i := range want {
+		if !blocks[i].Equal(want[i]) {
+			t.Errorf("block %d = %v, want %v", i, blocks[i], want[i])
+		}
+	}
+}
+
+func TestTileMorePartsThanIndices(t *testing.T) {
+	blocks := Tile(NewRect(0, 1), 4)
+	if len(blocks) != 4 {
+		t.Fatalf("len = %d", len(blocks))
+	}
+	var total int64
+	for _, b := range blocks {
+		total += b.Size()
+	}
+	if total != 2 {
+		t.Fatalf("total tiled size = %d, want 2", total)
+	}
+	if !blocks[2].Empty() || !blocks[3].Empty() {
+		t.Error("trailing blocks should be empty")
+	}
+}
+
+func TestTilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tile(_, 0) must panic")
+		}
+	}()
+	Tile(NewRect(0, 9), 0)
+}
+
+func TestTileBySize(t *testing.T) {
+	blocks := TileBySize(NewRect(0, 9), 4)
+	want := []Rect{NewRect(0, 3), NewRect(4, 7), NewRect(8, 9)}
+	if len(blocks) != len(want) {
+		t.Fatalf("len = %d, want %d", len(blocks), len(want))
+	}
+	for i := range want {
+		if !blocks[i].Equal(want[i]) {
+			t.Errorf("block %d = %v, want %v", i, blocks[i], want[i])
+		}
+	}
+	if got := TileBySize(EmptyRect, 4); len(got) != 0 {
+		t.Errorf("tiling empty domain should give no blocks, got %v", got)
+	}
+}
+
+// TestTilePropertyPartition checks that Tile always produces a disjoint,
+// complete, ordered partition of the domain.
+func TestTilePropertyPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Int63n(1000)
+		lo := rng.Int63n(100) - 50
+		dom := NewRect(lo, lo+n-1)
+		parts := 1 + rng.Intn(17)
+		blocks := Tile(dom, parts)
+		var total int64
+		prevHi := dom.Lo - 1
+		for _, b := range blocks {
+			total += b.Size()
+			if b.Empty() {
+				continue
+			}
+			if b.Lo != prevHi+1 {
+				return false // gap or overlap
+			}
+			prevHi = b.Hi
+		}
+		return total == dom.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

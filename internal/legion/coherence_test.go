@@ -1,0 +1,105 @@
+package legion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geometry"
+	"repro/internal/machine"
+)
+
+// TestCoherenceInvariants runs random programs over a handful of regions
+// and checks the directory model's invariants after every fence:
+//
+//  1. every processor's valid set is a subset of the region's domain;
+//  2. every index is valid *somewhere* (a processor or host) — data is
+//     never lost;
+//  3. after a full write through a disjoint partition, the writers'
+//     valid sets tile the domain exactly.
+func TestCoherenceInvariants(t *testing.T) {
+	m := machine.Summit(1)
+	rt := NewRuntime(m, m.Select(machine.GPU, 3))
+	t.Cleanup(rt.Shutdown)
+
+	const n = 128
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		regions := make([]*Region, 3)
+		for i := range regions {
+			regions[i] = rt.CreateRegion("r", n, Float64)
+		}
+		defer func() {
+			rt.Fence()
+			for _, r := range regions {
+				rt.Destroy(r)
+			}
+		}()
+
+		steps := 5 + rng.Intn(15)
+		for s := 0; s < steps; s++ {
+			r := regions[rng.Intn(len(regions))]
+			part := rt.BlockPartition(r, 3)
+			priv := []Privilege{ReadOnly, WriteDiscard, ReadWrite}[rng.Intn(3)]
+			l := rt.NewLaunch("op", 3, func(tc *TaskContext) {
+				d := tc.Float64(0)
+				if priv != ReadOnly {
+					tc.Subspace(0).Each(func(i int64) { d[i]++ })
+				}
+			})
+			l.Add(r, part, priv)
+			l.Execute()
+		}
+		rt.Fence()
+
+		dom := geometry.NewIntervalSet(geometry.NewRect(0, n-1))
+		for _, r := range regions {
+			var anywhere geometry.IntervalSet
+			for _, p := range rt.Procs() {
+				v := rt.Mapper().ValidOn(p, r)
+				if !dom.ContainsSet(v) {
+					t.Logf("seed %d: valid set escapes domain: %v", seed, v)
+					return false
+				}
+				anywhere = anywhere.Union(v)
+			}
+			anywhere = anywhere.Union(rt.Mapper().ValidOn(HostProc, r))
+			if !anywhere.Equal(dom) {
+				t.Logf("seed %d: indices lost from every memory: have %v", seed, anywhere)
+				return false
+			}
+		}
+
+		// Full write: validity must tile exactly across the writers.
+		r := regions[0]
+		part := rt.BlockPartition(r, 3)
+		w := rt.NewLaunch("w", 3, func(tc *TaskContext) {
+			d := tc.Float64(0)
+			tc.Subspace(0).Each(func(i int64) { d[i] = 0 })
+		})
+		w.Add(r, part, WriteDiscard)
+		w.Execute()
+		rt.Fence()
+		var acc geometry.IntervalSet
+		for c, p := range rt.Procs() {
+			v := rt.Mapper().ValidOn(p, r)
+			if !v.Equal(part.Subspace(c)) {
+				t.Logf("seed %d: writer %d validity %v != subspace %v", seed, c, v, part.Subspace(c))
+				return false
+			}
+			if acc.Overlaps(v) {
+				t.Logf("seed %d: overlapping validity after disjoint write", seed)
+				return false
+			}
+			acc = acc.Union(v)
+		}
+		if !rt.Mapper().ValidOn(HostProc, r).Empty() {
+			t.Logf("seed %d: host still valid after full overwrite", seed)
+			return false
+		}
+		return acc.Equal(dom)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

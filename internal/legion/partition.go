@@ -1,0 +1,348 @@
+package legion
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// Partition is a first-class mapping from a set of colors (point-task
+// indices) to subsets of a region's index space (paper §2.2). Partitions
+// need not be disjoint nor complete: image partitions of a dense vector
+// through a crd region are typically aliased (Figure 2b), and partitions
+// of padded regions may not cover every index.
+type Partition struct {
+	id        int64
+	region    *Region
+	subspaces []geometry.IntervalSet
+	disjoint  bool
+	kind      string // "block", "rects", "image-range", "image-coord", "explicit"
+}
+
+// Region returns the region this partition subdivides.
+func (p *Partition) Region() *Region { return p.region }
+
+// Colors returns the number of sub-regions in the partition.
+func (p *Partition) Colors() int { return len(p.subspaces) }
+
+// Subspace returns the index set of color c.
+func (p *Partition) Subspace(c int) geometry.IntervalSet { return p.subspaces[c] }
+
+// Disjoint reports whether the partition's sub-regions are pairwise
+// disjoint. Disjoint partitions may be written through; aliased
+// partitions are read-only (the runtime enforces this at launch).
+func (p *Partition) Disjoint() bool { return p.disjoint }
+
+// Kind returns how the partition was constructed, for debugging.
+func (p *Partition) Kind() string { return p.kind }
+
+func (p *Partition) String() string {
+	return fmt.Sprintf("Partition(%s of %s, %d colors, disjoint=%v)",
+		p.kind, p.region.name, len(p.subspaces), p.disjoint)
+}
+
+// Aligned reports whether q subdivides its region identically to p;
+// the constraint solver uses this to decide whether existing partitions
+// satisfy an alignment constraint.
+func (p *Partition) Aligned(q *Partition) bool {
+	if p == nil || q == nil || p.Colors() != q.Colors() {
+		return false
+	}
+	for c := range p.subspaces {
+		if !p.subspaces[c].Equal(q.subspaces[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *Runtime) newPartition(r *Region, subs []geometry.IntervalSet, disjoint bool, kind string) *Partition {
+	rt.mu.Lock()
+	rt.nextPartition++
+	id := rt.nextPartition
+	rt.mu.Unlock()
+	return &Partition{id: id, region: r, subspaces: subs, disjoint: disjoint, kind: kind}
+}
+
+// BlockPartition tiles the region's index space into colors contiguous,
+// nearly equal blocks — the default "tiling" that cuNumeric and Legate
+// Sparse select for the anchor regions of an operation (Figure 5:
+// "Tile x1 and pos"). Block partitions are cached per (region, colors):
+// repeated launches reuse the same first-class partition object, which in
+// turn lets image-partition caching hit across iterations of a solver
+// loop, exactly the partition reuse the paper's Figure 5 shows.
+func (rt *Runtime) BlockPartition(r *Region, colors int) *Partition {
+	key := partCacheKey{region: r.id, colors: colors, broadcast: false}
+	rt.mu.Lock()
+	if p, ok := rt.partCache[key]; ok {
+		rt.mu.Unlock()
+		return p
+	}
+	rt.mu.Unlock()
+	rects := geometry.Tile(r.Domain(), colors)
+	subs := make([]geometry.IntervalSet, colors)
+	for c, rect := range rects {
+		subs[c] = geometry.NewIntervalSet(rect)
+	}
+	p := rt.newPartition(r, subs, true, "block")
+	rt.mu.Lock()
+	rt.partCache[key] = p
+	rt.mu.Unlock()
+	return p
+}
+
+// partCacheKey caches block and broadcast partitions, which are pure
+// functions of (region, colors).
+type partCacheKey struct {
+	region    RegionID
+	colors    int
+	broadcast bool
+}
+
+// PartitionByRects builds a partition whose color c covers rects[c].
+// The caller asserts nothing about disjointness; it is computed.
+func (rt *Runtime) PartitionByRects(r *Region, rects []geometry.Rect) *Partition {
+	subs := make([]geometry.IntervalSet, len(rects))
+	for c, rect := range rects {
+		subs[c] = geometry.NewIntervalSet(rect)
+	}
+	return rt.newPartition(r, subs, disjointSubspaces(subs), "rects")
+}
+
+// PartitionBySets builds a partition from explicit per-color index sets.
+func (rt *Runtime) PartitionBySets(r *Region, subs []geometry.IntervalSet) *Partition {
+	cp := make([]geometry.IntervalSet, len(subs))
+	copy(cp, subs)
+	return rt.newPartition(r, cp, disjointSubspaces(cp), "explicit")
+}
+
+func disjointSubspaces(subs []geometry.IntervalSet) bool {
+	var acc geometry.IntervalSet
+	for _, s := range subs {
+		if acc.Overlaps(s) {
+			return false
+		}
+		acc = acc.Union(s)
+	}
+	return true
+}
+
+// AlignedPartition returns a partition of r with the same subspaces as p
+// (which must partition a region of the same size). It is how an
+// alignment constraint transfers one region's chosen partition onto
+// another; results are cached per (p, r) so repeated launches hand out
+// the same first-class partition object.
+func (rt *Runtime) AlignedPartition(p *Partition, r *Region) *Partition {
+	if p.Region() == r {
+		return p
+	}
+	if p.Region().Size() != r.Size() {
+		panic(fmt.Sprintf("legion: aligning %q (size %d) with partition of %q (size %d)",
+			r.name, r.size, p.Region().name, p.Region().size))
+	}
+	key := alignKey{part: p.id, region: r.id}
+	rt.mu.Lock()
+	if q, ok := rt.alignCache[key]; ok {
+		rt.mu.Unlock()
+		return q
+	}
+	rt.mu.Unlock()
+	q := rt.newPartition(r, p.subspaces, p.disjoint, p.kind)
+	rt.mu.Lock()
+	rt.alignCache[key] = q
+	rt.mu.Unlock()
+	return q
+}
+
+type alignKey struct {
+	part   int64
+	region RegionID
+}
+
+// imageKey identifies a cached image partition: images only depend on the
+// source partition's identity, the source region's contents (version),
+// and the destination region.
+type imageKey struct {
+	srcPart    int64
+	srcVersion int64
+	dst        RegionID
+}
+
+// ImageRange computes the dependent-partitioning image of srcPart through
+// the range-valued region src onto dst (paper Figure 2a): color c of the
+// result covers the union of the ranges stored at src's indices colored c.
+// This is how partitions of a CSR pos region induce partitions of the crd
+// and vals regions (§3).
+//
+// Images are cached on (source partition, source version, destination);
+// re-launching an operation with unchanged inputs reuses the cached
+// partition, which is what makes the steady state of Figure 5 cheap.
+func (rt *Runtime) ImageRange(src *Region, srcPart *Partition, dst *Region) *Partition {
+	src.checkType(RectType)
+	if srcPart.Region() != src {
+		panic("legion: ImageRange source partition does not partition source region")
+	}
+	rt.fenceRegion(src) // the image reads src's contents on the app thread
+	key := imageKey{srcPart: srcPart.id, srcVersion: src.version, dst: dst.id}
+	rt.mu.Lock()
+	if p, ok := rt.imageCache[key]; ok {
+		rt.mu.Unlock()
+		return p
+	}
+	rt.mu.Unlock()
+
+	subs := make([]geometry.IntervalSet, srcPart.Colors())
+	data := src.rect
+	for c := 0; c < srcPart.Colors(); c++ {
+		var rects []geometry.Rect
+		srcPart.Subspace(c).Each(func(i int64) {
+			if r := data[i]; !r.Empty() {
+				rects = append(rects, r)
+			}
+		})
+		subs[c] = geometry.NewIntervalSet(rects...)
+	}
+	p := rt.newPartition(dst, subs, disjointSubspaces(subs), "image-range")
+	rt.mu.Lock()
+	rt.imageCache[key] = p
+	rt.mu.Unlock()
+	return p
+}
+
+// ImageCoord computes the image of srcPart through the coordinate-valued
+// region src onto dst (paper Figure 2b): color c of the result contains
+// every index named by a coordinate of src colored c. The result is
+// typically aliased — multiple sub-regions of a SpMV's x vector reference
+// the same entries (Figure 5's blue/red overlap).
+func (rt *Runtime) ImageCoord(src *Region, srcPart *Partition, dst *Region) *Partition {
+	src.checkType(Int64)
+	if srcPart.Region() != src {
+		panic("legion: ImageCoord source partition does not partition source region")
+	}
+	rt.fenceRegion(src) // the image reads src's contents on the app thread
+	key := imageKey{srcPart: srcPart.id, srcVersion: src.version, dst: dst.id}
+	rt.mu.Lock()
+	if p, ok := rt.imageCache[key]; ok {
+		rt.mu.Unlock()
+		return p
+	}
+	rt.mu.Unlock()
+
+	subs := make([]geometry.IntervalSet, srcPart.Colors())
+	data := src.i64
+	for c := 0; c < srcPart.Colors(); c++ {
+		var pts []int64
+		srcPart.Subspace(c).Each(func(i int64) {
+			pts = append(pts, data[i])
+		})
+		subs[c] = geometry.FromPoints(pts)
+	}
+	p := rt.newPartition(dst, subs, disjointSubspaces(subs), "image-coord")
+	rt.mu.Lock()
+	rt.imageCache[key] = p
+	rt.mu.Unlock()
+	return p
+}
+
+// PreimageCoord computes the dependent-partitioning preimage of
+// dstPart through the coordinate-valued region src: color c of the
+// result contains every index i of src whose value points into
+// dstPart's color c ({i : src[i] ∈ P[c]}). Preimage is the second
+// operator of Treichler et al.'s dependent partitioning [33] (§2.2):
+// where image pushes a partition forward through pointers, preimage
+// pulls one back — e.g. partitioning COO entries by the ownership of
+// the rows they update.
+func (rt *Runtime) PreimageCoord(src *Region, dstPart *Partition) *Partition {
+	src.checkType(Int64)
+	rt.fenceRegion(src)
+	key := imageKey{srcPart: -dstPart.id, srcVersion: src.version, dst: src.id}
+	rt.mu.Lock()
+	if p, ok := rt.imageCache[key]; ok {
+		rt.mu.Unlock()
+		return p
+	}
+	rt.mu.Unlock()
+
+	data := src.i64
+	subs := make([]geometry.IntervalSet, dstPart.Colors())
+	pts := make([][]int64, dstPart.Colors())
+	for i, v := range data {
+		for c := 0; c < dstPart.Colors(); c++ {
+			if dstPart.Subspace(c).Contains(v) {
+				pts[c] = append(pts[c], int64(i))
+			}
+		}
+	}
+	for c := range subs {
+		subs[c] = geometry.FromPoints(pts[c])
+	}
+	p := rt.newPartition(src, subs, dstPart.Disjoint(), "preimage-coord")
+	rt.mu.Lock()
+	rt.imageCache[key] = p
+	rt.mu.Unlock()
+	return p
+}
+
+// PreimageRange computes the preimage of dstPart through the
+// range-valued region src: color c contains every index i whose stored
+// range overlaps dstPart's color c. The result may alias when a range
+// spans a color boundary.
+func (rt *Runtime) PreimageRange(src *Region, dstPart *Partition) *Partition {
+	src.checkType(RectType)
+	rt.fenceRegion(src)
+	key := imageKey{srcPart: -dstPart.id, srcVersion: src.version, dst: src.id}
+	rt.mu.Lock()
+	if p, ok := rt.imageCache[key]; ok {
+		rt.mu.Unlock()
+		return p
+	}
+	rt.mu.Unlock()
+
+	data := src.rect
+	pts := make([][]int64, dstPart.Colors())
+	for i, r := range data {
+		if r.Empty() {
+			continue
+		}
+		set := geometry.NewIntervalSet(r)
+		for c := 0; c < dstPart.Colors(); c++ {
+			if dstPart.Subspace(c).Overlaps(set) {
+				pts[c] = append(pts[c], int64(i))
+			}
+		}
+	}
+	subs := make([]geometry.IntervalSet, dstPart.Colors())
+	for c := range subs {
+		subs[c] = geometry.FromPoints(pts[c])
+	}
+	p := rt.newPartition(src, subs, disjointSubspaces(subs), "preimage-range")
+	rt.mu.Lock()
+	rt.imageCache[key] = p
+	rt.mu.Unlock()
+	return p
+}
+
+// BroadcastPartition replicates the whole region to every color — used
+// for small operands every point task reads in full (e.g. the dense
+// factor slices in SDDMM with few colors, or scalars materialized as
+// regions).
+func (rt *Runtime) BroadcastPartition(r *Region, colors int) *Partition {
+	key := partCacheKey{region: r.id, colors: colors, broadcast: true}
+	rt.mu.Lock()
+	if p, ok := rt.partCache[key]; ok {
+		rt.mu.Unlock()
+		return p
+	}
+	rt.mu.Unlock()
+	full := geometry.NewIntervalSet(r.Domain())
+	subs := make([]geometry.IntervalSet, colors)
+	for c := range subs {
+		subs[c] = full
+	}
+	disjoint := colors <= 1 || r.size == 0
+	p := rt.newPartition(r, subs, disjoint, "broadcast")
+	rt.mu.Lock()
+	rt.partCache[key] = p
+	rt.mu.Unlock()
+	return p
+}

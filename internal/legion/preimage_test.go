@@ -1,0 +1,159 @@
+package legion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geometry"
+	"repro/internal/machine"
+)
+
+// TestPreimageCoordBasic: entries pointing into a block-partitioned
+// destination land in the color owning their target.
+func TestPreimageCoordBasic(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	dst := rt.CreateRegion("dst", 8, Float64)
+	dstPart := rt.BlockPartition(dst, 2) // [0,3], [4,7]
+	src := rt.CreateInt64("ptr", []int64{7, 0, 4, 2, 3, 6})
+	pre := rt.PreimageCoord(src, dstPart)
+	want0 := geometry.FromPoints([]int64{1, 3, 4})
+	want1 := geometry.FromPoints([]int64{0, 2, 5})
+	if !pre.Subspace(0).Equal(want0) {
+		t.Errorf("color 0 = %v, want %v", pre.Subspace(0), want0)
+	}
+	if !pre.Subspace(1).Equal(want1) {
+		t.Errorf("color 1 = %v, want %v", pre.Subspace(1), want1)
+	}
+	if !pre.Disjoint() {
+		t.Error("preimage of a disjoint partition through coordinates is disjoint")
+	}
+	// Cached for unchanged source.
+	if rt.PreimageCoord(src, dstPart) != pre {
+		t.Error("preimage must be cached")
+	}
+}
+
+// TestPreimageRangeAliases: a range spanning a color boundary appears in
+// both colors.
+func TestPreimageRangeAliases(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	dst := rt.CreateRegion("dst", 8, Float64)
+	dstPart := rt.BlockPartition(dst, 2)
+	src := rt.CreateRects("rng", []geometry.Rect{
+		geometry.NewRect(0, 1), // color 0 only
+		geometry.NewRect(3, 5), // spans both
+		geometry.NewRect(6, 7), // color 1 only
+		geometry.EmptyRect,     // nowhere
+	})
+	pre := rt.PreimageRange(src, dstPart)
+	if !pre.Subspace(0).Equal(geometry.FromPoints([]int64{0, 1})) {
+		t.Errorf("color 0 = %v", pre.Subspace(0))
+	}
+	if !pre.Subspace(1).Equal(geometry.FromPoints([]int64{1, 2})) {
+		t.Errorf("color 1 = %v", pre.Subspace(1))
+	}
+	if pre.Disjoint() {
+		t.Error("boundary-spanning range must alias")
+	}
+}
+
+// TestPreimageSoundnessProperty: for every color c and every source
+// index i colored c, src[i] lands in (coord) or overlaps (range) the
+// destination color — the defining property of the operator [33].
+func TestPreimageSoundnessProperty(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dstSize := int64(2 + rng.Intn(40))
+		n := 1 + rng.Intn(30)
+		dst := rt.CreateRegion("dst", dstSize, Float64)
+		dstPart := rt.BlockPartition(dst, 3)
+		ptrs := make([]int64, n)
+		for i := range ptrs {
+			ptrs[i] = rng.Int63n(dstSize)
+		}
+		src := rt.CreateInt64("ptr", ptrs)
+		pre := rt.PreimageCoord(src, dstPart)
+		ok := true
+		covered := map[int64]bool{}
+		for c := 0; c < 3; c++ {
+			pre.Subspace(c).Each(func(i int64) {
+				covered[i] = true
+				if !dstPart.Subspace(c).Contains(ptrs[i]) {
+					ok = false
+				}
+			})
+		}
+		// Completeness: every source index appears in some color.
+		if len(covered) != n {
+			ok = false
+		}
+		rt.Destroy(dst)
+		rt.Destroy(src)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreimagePartitionsCOOScatter uses the preimage the way a COO
+// assembly would: partition entries by the rank owning their target
+// row, so writes become rank-local.
+func TestPreimagePartitionsCOOScatter(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	out := rt.CreateRegion("out", 9, Float64)
+	outPart := rt.BlockPartition(out, 3)
+	rows := rt.CreateInt64("rows", []int64{8, 0, 4, 4, 2, 7, 1, 5, 3})
+	vals := rt.CreateFloat64("vals", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	entryPart := rt.PreimageCoord(rows, outPart)
+	valsPart := rt.AlignedPartition(entryPart, vals)
+
+	l := rt.NewLaunch("scatter", 3, func(tc *TaskContext) {
+		o, r, v := tc.Float64(0), tc.Int64(1), tc.Float64(2)
+		tc.Subspace(1).Each(func(k int64) { o[r[k]] += v[k] })
+	})
+	l.Add(out, outPart, ReadWrite) // disjoint writes: preimage guarantees locality
+	l.Add(rows, entryPart, ReadOnly)
+	l.Add(vals, valsPart, ReadOnly)
+	l.Execute()
+	rt.Fence()
+
+	want := []float64{2, 7, 5, 9, 7, 8, 0, 6, 1}
+	for i, v := range out.Float64s() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestProfileAccumulates(t *testing.T) {
+	m := machine.Summit(1)
+	rt := NewRuntime(m, m.Select(machine.GPU, 2))
+	defer rt.Shutdown()
+	x := rt.CreateRegion("x", 1024, Float64)
+	part := rt.BlockPartition(x, 2)
+	for i := 0; i < 3; i++ {
+		l := rt.NewLaunch("fill", 2, func(tc *TaskContext) {
+			d := tc.Float64(0)
+			tc.Subspace(0).Each(func(j int64) { d[j] = 1 })
+		})
+		l.Add(x, part, WriteDiscard)
+		l.Execute()
+	}
+	rt.Fence()
+	entries := rt.Profile().Entries()
+	if len(entries) != 1 || entries[0].Name != "fill" {
+		t.Fatalf("profile entries = %+v", entries)
+	}
+	if entries[0].Launches != 3 || entries[0].Points != 6 {
+		t.Fatalf("launches/points = %d/%d, want 3/6", entries[0].Launches, entries[0].Points)
+	}
+	if entries[0].SimTime <= 0 {
+		t.Fatal("profile must accumulate simulated time")
+	}
+	if rt.Profile().String() == "" {
+		t.Fatal("profile renders empty")
+	}
+}

@@ -1,0 +1,82 @@
+package legion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profile accumulates per-task-name statistics, the role Legion Prof
+// plays for the real runtime: how many launches and points each
+// operation issued and how much simulated processor time its kernels
+// consumed. Profiling is always on (the bookkeeping is two map updates
+// per launch) and survives ResetMetrics so applications can inspect a
+// whole run.
+type Profile struct {
+	mu      sync.Mutex
+	entries map[string]*ProfileEntry
+}
+
+// ProfileEntry is one task name's accumulated statistics.
+type ProfileEntry struct {
+	Name     string
+	Launches int64
+	Points   int64
+	SimTime  time.Duration // summed point-task durations (not wall clock)
+}
+
+func newProfile() *Profile {
+	return &Profile{entries: map[string]*ProfileEntry{}}
+}
+
+func (p *Profile) recordLaunch(name string, points int) {
+	p.mu.Lock()
+	e := p.entries[name]
+	if e == nil {
+		e = &ProfileEntry{Name: name}
+		p.entries[name] = e
+	}
+	e.Launches++
+	e.Points += int64(points)
+	p.mu.Unlock()
+}
+
+func (p *Profile) recordPointTime(name string, d time.Duration) {
+	p.mu.Lock()
+	if e := p.entries[name]; e != nil {
+		e.SimTime += d
+	}
+	p.mu.Unlock()
+}
+
+// Entries returns the profile sorted by descending simulated time.
+func (p *Profile) Entries() []ProfileEntry {
+	p.mu.Lock()
+	out := make([]ProfileEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, *e)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SimTime != out[j].SimTime {
+			return out[i].SimTime > out[j].SimTime
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// String renders the profile as an aligned table.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %10s %10s %14s\n", "task", "launches", "points", "sim time")
+	for _, e := range p.Entries() {
+		fmt.Fprintf(&sb, "%-24s %10d %10d %14s\n", e.Name, e.Launches, e.Points, e.SimTime)
+	}
+	return sb.String()
+}
+
+// Profile returns the runtime's task profile.
+func (rt *Runtime) Profile() *Profile { return rt.profile }

@@ -1,0 +1,545 @@
+package legion
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/machine"
+)
+
+// Runtime executes a sequential stream of index task launches with
+// Legion's semantics: dependencies between launches are extracted
+// dynamically from region requirements and privileges, independent
+// launches run in parallel, and point tasks within a launch execute
+// concurrently on the runtime's processors (one worker goroutine each).
+//
+// Two clocks exist. Wall-clock time is real but meaningless for
+// weak-scaling (the host has a fixed core count); the *simulated* clock
+// assigns each point task a start/finish on its processor's timeline
+// using the machine cost model (kernel rates, copy bandwidths, launch
+// overheads), which is what the benchmark harness reports.
+type Runtime struct {
+	mach    *machine.Machine
+	cost    *machine.CostModel
+	procs   []machine.ProcID
+	stats   *machine.Stats
+	map_    *Mapper
+	profile *Profile
+
+	mu            sync.Mutex
+	nextRegion    RegionID
+	nextPartition int64
+	nextSeq       int64
+	regions       map[RegionID]*regionState
+	imageCache    map[imageKey]*Partition
+	partCache     map[partCacheKey]*Partition
+	alignCache    map[alignKey]*Partition
+	analysisClock time.Duration
+	err           error
+
+	traceActive    bool
+	traceReplaying bool
+	knownTraces    map[int64]bool
+
+	simMu    sync.Mutex
+	procBusy map[machine.ProcID]time.Duration
+	simMax   time.Duration
+
+	workers  map[machine.ProcID]*worker
+	pending  sync.WaitGroup
+	shutdown bool
+}
+
+// regionState is the dependence-analysis state of one region: the
+// launches that last wrote it and the readers since.
+type regionState struct {
+	lastWriters []*launchState
+	readers     []*launchState
+}
+
+// NewRuntime creates a runtime that schedules onto the given processors
+// of the machine. The processor list fixes both the parallelism (one
+// point task per processor per launch, by default) and the kind of
+// kernels that run (all-CPU or all-GPU, matching the paper's "CPU-only
+// and GPU-only settings").
+func NewRuntime(m *machine.Machine, procs []machine.ProcID) *Runtime {
+	if len(procs) == 0 {
+		panic("legion: NewRuntime requires at least one processor")
+	}
+	rt := &Runtime{
+		mach:       m,
+		cost:       m.Cost(),
+		procs:      procs,
+		stats:      &machine.Stats{},
+		regions:    map[RegionID]*regionState{},
+		imageCache: map[imageKey]*Partition{},
+		partCache:  map[partCacheKey]*Partition{},
+		alignCache: map[alignKey]*Partition{},
+		procBusy:   map[machine.ProcID]time.Duration{},
+		workers:    map[machine.ProcID]*worker{},
+	}
+	rt.map_ = newMapper(rt)
+	rt.profile = newProfile()
+	for _, p := range procs {
+		proc := p
+		w := newWorker(func(ls *launchState, point int) { rt.runPoint(ls, point, proc) })
+		rt.workers[p] = w
+		go w.run()
+	}
+	return rt
+}
+
+// Machine returns the machine this runtime schedules onto.
+func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
+
+// Cost returns the runtime's machine cost model.
+func (rt *Runtime) Cost() *machine.CostModel { return rt.cost }
+
+// Procs returns the processors this runtime schedules onto.
+func (rt *Runtime) Procs() []machine.ProcID { return rt.procs }
+
+// NumProcs returns the number of processors (the natural launch-domain
+// size for distributed operations).
+func (rt *Runtime) NumProcs() int { return len(rt.procs) }
+
+// ProcKind returns the kind of the runtime's processors.
+func (rt *Runtime) ProcKind() machine.ProcKind { return rt.mach.Proc(rt.procs[0]).Kind }
+
+// Stats returns the runtime's statistics counters.
+func (rt *Runtime) Stats() *machine.Stats { return rt.stats }
+
+// Mapper exposes the mapper for inspection in tests.
+func (rt *Runtime) Mapper() *Mapper { return rt.map_ }
+
+// Err returns the sticky first error (e.g. modeled OOM) hit by any task,
+// or nil. Once set, subsequent kernels are skipped; callers should check
+// Err after Fence.
+func (rt *Runtime) Err() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err
+}
+
+func (rt *Runtime) setErr(err error) {
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *Runtime) errSet() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err != nil
+}
+
+// Destroy marks a region out of scope: its allocations return to the
+// mapper's free pools for reuse by future regions (§4.3). The caller
+// must ensure no outstanding launch uses the region (Fence if unsure).
+func (rt *Runtime) Destroy(r *Region) {
+	if r == nil || r.destroyed {
+		return
+	}
+	// Quiesce: wait for every outstanding launch that reads or writes
+	// the region, so pooling its allocations cannot race with in-flight
+	// mapping (which would also make the modeled memory accounting
+	// nondeterministic).
+	rt.mu.Lock()
+	var users []*launchState
+	if st := rt.regions[r.id]; st != nil {
+		users = append(users, st.lastWriters...)
+		users = append(users, st.readers...)
+	}
+	rt.mu.Unlock()
+	for _, u := range users {
+		u.wait()
+	}
+	r.destroyed = true
+	rt.map_.regionDestroyed(r)
+	rt.mu.Lock()
+	delete(rt.regions, r.id)
+	for k := range rt.partCache {
+		if k.region == r.id {
+			delete(rt.partCache, k)
+		}
+	}
+	for k := range rt.imageCache {
+		if k.dst == r.id {
+			delete(rt.imageCache, k)
+		}
+	}
+	for k := range rt.alignCache {
+		if k.region == r.id {
+			delete(rt.alignCache, k)
+		}
+	}
+	rt.mu.Unlock()
+}
+
+// Fence blocks until every launched task has completed, like Legion's
+// execution fence.
+func (rt *Runtime) Fence() { rt.pending.Wait() }
+
+// Shutdown stops the worker goroutines after draining outstanding work.
+func (rt *Runtime) Shutdown() {
+	rt.Fence()
+	rt.mu.Lock()
+	if rt.shutdown {
+		rt.mu.Unlock()
+		return
+	}
+	rt.shutdown = true
+	rt.mu.Unlock()
+	for _, w := range rt.workers {
+		w.stop()
+	}
+}
+
+// SimTime returns the current simulated time: the furthest point on any
+// processor timeline or the analysis timeline.
+func (rt *Runtime) SimTime() time.Duration {
+	rt.simMu.Lock()
+	t := rt.simMax
+	for _, b := range rt.procBusy {
+		if b > t {
+			t = b
+		}
+	}
+	rt.simMu.Unlock()
+	rt.mu.Lock()
+	if rt.analysisClock > t {
+		t = rt.analysisClock
+	}
+	rt.mu.Unlock()
+	return t
+}
+
+// ResetMetrics zeroes the simulated clocks and statistics without
+// disturbing mapper state, so benchmarks can warm into the steady state
+// (allocations settled, partitions cached) and then measure it — matching
+// the paper's protocol of timing iterations after startup.
+// Callers must Fence first.
+func (rt *Runtime) ResetMetrics() {
+	rt.simMu.Lock()
+	for p := range rt.procBusy {
+		rt.procBusy[p] = 0
+	}
+	rt.simMax = 0
+	rt.simMu.Unlock()
+	rt.mu.Lock()
+	rt.analysisClock = 0
+	// Rebase the recorded finish times of completed launches still
+	// referenced by region state: new launches take their dependency
+	// ready-times from these, and without rebasing the first post-reset
+	// launch would inherit the pre-reset clock.
+	for _, st := range rt.regions {
+		for _, w := range st.lastWriters {
+			w.resetTimeline()
+		}
+		for _, r := range st.readers {
+			r.resetTimeline()
+		}
+	}
+	rt.mu.Unlock()
+	rt.stats = &machine.Stats{}
+}
+
+// chargeAllReduce models the synchronization of a future-producing
+// reduction being read by the application: all processors join an
+// all-reduce whose cost grows with log2(P).
+func (rt *Runtime) chargeAllReduce() {
+	if len(rt.procs) <= 1 {
+		return
+	}
+	rt.stats.AllReduces.Add(1)
+	dt := rt.cost.AllReduceTime(len(rt.procs))
+	rt.simMu.Lock()
+	var t time.Duration
+	for _, p := range rt.procs {
+		if rt.procBusy[p] > t {
+			t = rt.procBusy[p]
+		}
+	}
+	t += dt
+	for _, p := range rt.procs {
+		rt.procBusy[p] = t
+	}
+	if t > rt.simMax {
+		rt.simMax = t
+	}
+	rt.simMu.Unlock()
+}
+
+// fenceRegion waits for all outstanding writers of r; used before the
+// runtime itself reads region contents (image computation).
+func (rt *Runtime) fenceRegion(r *Region) {
+	rt.mu.Lock()
+	st := rt.regions[r.id]
+	var writers []*launchState
+	if st != nil {
+		writers = append(writers, st.lastWriters...)
+	}
+	rt.mu.Unlock()
+	for _, w := range writers {
+		w.wait()
+	}
+}
+
+// ProcForPoint returns the processor point task p of a launch runs on.
+// Points map round-robin onto the runtime's processors; when the domain
+// equals the processor count (the common case) this is the identity
+// mapping both libraries share, which is what keeps data from thrashing
+// between operations launched by different libraries (§4.2).
+func (rt *Runtime) ProcForPoint(p int) machine.ProcID {
+	return rt.procs[p%len(rt.procs)]
+}
+
+// Execute submits the launch. Dependencies on earlier launches are
+// extracted from region requirements; the launch runs as soon as they
+// complete. Execute returns a Future carrying the launch's reduction
+// value (meaningful only if some kernel calls TaskContext.Reduce).
+//
+// Execute must be called from the application goroutine: the sequential
+// order of Execute calls defines the program whose semantics the runtime
+// preserves.
+func (l *Launch) Execute() *Future {
+	rt := l.rt
+	ls := &launchState{
+		name:    l.name,
+		points:  l.points,
+		kernel:  l.kernel,
+		reqs:    l.reqs,
+		args:    l.args,
+		opClass: l.opClass,
+		workFn:  l.workFn,
+		done:    make(chan struct{}),
+	}
+	ls.remaining.Store(int64(l.points))
+	ls.reduced.Store(float64(0))
+	rt.pending.Add(1)
+
+	rt.mu.Lock()
+	rt.nextSeq++
+	ls.seq = rt.nextSeq
+	rt.analysisClock += rt.analysisCost(l.points)
+	ls.issueAt = rt.analysisClock
+	rt.stats.Tasks.Add(1)
+	rt.profile.recordLaunch(l.name, l.points)
+
+	// Dynamic dependence analysis (paper §2.2): collect the set of
+	// earlier launches this one must wait for, then update per-region
+	// reader/writer state. Reads depend on the last writers (RAW);
+	// writes depend on the last writers and all readers since (WAW, WAR).
+	depSet := map[*launchState]struct{}{}
+	for _, rq := range l.reqs {
+		st := rt.regions[rq.region.id]
+		if st == nil {
+			st = &regionState{}
+			rt.regions[rq.region.id] = st
+		}
+		for _, w := range st.lastWriters {
+			depSet[w] = struct{}{}
+		}
+		if rq.priv.writes() {
+			for _, rd := range st.readers {
+				depSet[rd] = struct{}{}
+			}
+		}
+	}
+	for _, rq := range l.reqs {
+		st := rt.regions[rq.region.id]
+		if rq.priv.writes() {
+			st.lastWriters = []*launchState{ls}
+			st.readers = nil
+			rq.region.version++
+			if rq.part != nil {
+				rq.region.keyPartition = rq.part
+			}
+		} else {
+			st.readers = append(st.readers, ls)
+		}
+	}
+	rt.mu.Unlock()
+
+	// Enqueue every point task now, in launch-sequence order, so each
+	// worker executes its points in a deterministic, deadlock-free
+	// program order; the launch's ready flag gates actual execution.
+	for p := 0; p < ls.points; p++ {
+		rt.workers[rt.ProcForPoint(p)].enqueue(ls, p)
+	}
+
+	// Register with live dependencies. The guard count (+1) keeps the
+	// launch from dispatching until registration finishes, even if a
+	// dependency completes concurrently.
+	ls.depCount.Store(1)
+	for dep := range depSet {
+		if dep == ls {
+			continue
+		}
+		ls.depCount.Add(1)
+		if !dep.addChild(ls) {
+			// Already complete: take its finish time directly.
+			ls.noteDepFinish(dep.finishTime())
+			ls.depCount.Add(-1)
+		}
+	}
+	if ls.depCount.Add(-1) == 0 {
+		rt.dispatch(ls)
+	}
+	return &Future{launch: ls, rt: rt}
+}
+
+// addChild registers child to be notified on completion; it returns false
+// if the launch already completed (the child should not wait).
+func (ls *launchState) addChild(child *launchState) bool {
+	ls.childMu.Lock()
+	defer ls.childMu.Unlock()
+	if ls.completed {
+		return false
+	}
+	ls.children = append(ls.children, child)
+	return true
+}
+
+func (ls *launchState) noteDepFinish(t time.Duration) {
+	ls.finishMu.Lock()
+	if t > ls.depReadyAt {
+		ls.depReadyAt = t
+	}
+	ls.finishMu.Unlock()
+}
+
+// noteDepDone is called by a completing dependency.
+func (ls *launchState) noteDepDone(finish time.Duration, rt *Runtime) {
+	ls.noteDepFinish(finish)
+	if ls.depCount.Add(-1) == 0 {
+		rt.dispatch(ls)
+	}
+}
+
+// dispatch marks a launch ready and wakes the workers hosting its
+// points.
+func (rt *Runtime) dispatch(ls *launchState) {
+	ls.ready.Store(true)
+	for p := 0; p < ls.points && p < len(rt.procs); p++ {
+		rt.workers[rt.ProcForPoint(p)].wake()
+	}
+}
+
+// runPoint executes one point task on proc: map its region requirements
+// (modeling allocation and coherence copies), run the real kernel, update
+// the simulated timeline, and complete the launch when it is the last
+// point.
+func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
+	rt.stats.PointTasks.Add(1)
+	subs := make([]geometry.IntervalSet, len(ls.reqs))
+	var copyTime time.Duration
+	failed := rt.errSet()
+	if !failed {
+		for i, rq := range ls.reqs {
+			var sub geometry.IntervalSet
+			if rq.part != nil {
+				sub = rq.part.Subspace(point)
+			} else if rq.region.size > 0 {
+				sub = geometry.NewIntervalSet(rq.region.Domain())
+			}
+			subs[i] = sub
+			res, err := rt.map_.mapRequirement(proc, rq.region, sub, rq.priv)
+			if err != nil {
+				rt.setErr(err)
+				failed = true
+				break
+			}
+			copyTime += res.copyTime
+		}
+	}
+
+	var work int64
+	if !failed {
+		ctx := &TaskContext{launch: ls, point: point, subs: subs}
+		ls.kernel(ctx)
+		if ctx.hasPartial {
+			ls.partialMu.Lock()
+			ls.partials += ctx.partial
+			ls.partialMu.Unlock()
+		}
+		work = ctx.work
+		if work == 0 {
+			work = defaultWork(ls, subs)
+		}
+	}
+	if ls.workFn != nil {
+		work = ls.workFn(point)
+	}
+
+	// Simulated timeline update for this point: it may start once the
+	// runtime has issued it, its dependencies have finished, and its
+	// processor is free; it then pays the per-point overhead, its input
+	// copies, and its kernel time.
+	kind := rt.mach.Proc(proc).Kind
+	dur := rt.cost.PointOverhead + copyTime + rt.cost.KernelTime(kind, ls.opClass, work)
+	rt.profile.recordPointTime(ls.name, dur)
+	ls.finishMu.Lock()
+	ready := ls.depReadyAt
+	ls.finishMu.Unlock()
+	if ls.issueAt > ready {
+		ready = ls.issueAt
+	}
+	rt.simMu.Lock()
+	start := rt.procBusy[proc]
+	if ready > start {
+		start = ready
+	}
+	finish := start + dur
+	rt.procBusy[proc] = finish
+	if finish > rt.simMax {
+		rt.simMax = finish
+	}
+	rt.simMu.Unlock()
+	ls.recordFinish(finish)
+
+	if ls.remaining.Add(-1) == 0 {
+		rt.completeLaunch(ls)
+	}
+}
+
+// defaultWork estimates a point task's processed elements as the size of
+// its first written subspace (or first subspace if it only reads).
+func defaultWork(ls *launchState, subs []geometry.IntervalSet) int64 {
+	var firstRead int64 = -1
+	for i, rq := range ls.reqs {
+		if rq.priv.writes() {
+			return subs[i].Size()
+		}
+		if firstRead < 0 {
+			firstRead = subs[i].Size()
+		}
+	}
+	if firstRead < 0 {
+		return 0
+	}
+	return firstRead
+}
+
+// completeLaunch publishes the reduction value, notifies children, and
+// releases the fence.
+func (rt *Runtime) completeLaunch(ls *launchState) {
+	ls.partialMu.Lock()
+	ls.reduced.Store(ls.partials)
+	ls.partialMu.Unlock()
+	finish := ls.finishTime()
+
+	ls.childMu.Lock()
+	ls.completed = true
+	children := ls.children
+	ls.children = nil
+	ls.childMu.Unlock()
+
+	ls.doneOnce.Do(func() { close(ls.done) })
+	for _, c := range children {
+		c.noteDepDone(finish, rt)
+	}
+	rt.pending.Done()
+}

@@ -1,0 +1,285 @@
+package legion
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"repro/internal/geometry"
+	"repro/internal/machine"
+)
+
+// Privilege declares how a task uses a region requirement; the runtime's
+// dependence analysis is driven entirely by privileges (paper §2.2).
+type Privilege int
+
+const (
+	// ReadOnly: the task reads the sub-region; concurrent with other reads.
+	ReadOnly Privilege = iota
+	// WriteDiscard: the task overwrites the sub-region without reading it;
+	// prior contents need not be copied to the executing processor.
+	WriteDiscard
+	// ReadWrite: the task reads and writes the sub-region.
+	ReadWrite
+	// ReduceSum: the task accumulates into the sub-region with +. Point
+	// tasks of one launch may alias; they must use TaskContext.ReduceAdd
+	// so concurrent accumulation is safe.
+	ReduceSum
+)
+
+func (p Privilege) String() string {
+	switch p {
+	case ReadOnly:
+		return "RO"
+	case WriteDiscard:
+		return "WD"
+	case ReadWrite:
+		return "RW"
+	case ReduceSum:
+		return "RD+"
+	default:
+		return fmt.Sprintf("Privilege(%d)", int(p))
+	}
+}
+
+func (p Privilege) writes() bool { return p != ReadOnly }
+func (p Privilege) reads() bool  { return p == ReadOnly || p == ReadWrite }
+
+// KernelFunc is the body of a point task. It runs on a worker goroutine
+// for the assigned processor and must only touch the indices in its
+// declared subspaces.
+type KernelFunc func(tc *TaskContext)
+
+// req is one region requirement of a launch.
+type req struct {
+	region *Region
+	part   *Partition // nil means the whole region for every point
+	priv   Privilege
+}
+
+// Launch is an index task launch under construction: a kernel, a launch
+// domain (number of points), and a set of region requirements. A launch
+// with Points == 1 behaves like a single task.
+type Launch struct {
+	rt      *Runtime
+	name    string
+	points  int
+	kernel  KernelFunc
+	reqs    []req
+	args    any
+	opClass machine.OpClass
+	reduce  bool
+	workFn  func(point int) int64 // optional explicit work estimate
+}
+
+// NewLaunch begins building an index launch of the given number of point
+// tasks. Launches must be built and executed from the application
+// goroutine; Legion's sequential-semantics guarantee is defined relative
+// to the order Execute is called in.
+func (rt *Runtime) NewLaunch(name string, points int, kernel KernelFunc) *Launch {
+	if points <= 0 {
+		panic(fmt.Sprintf("legion: launch %q with %d points", name, points))
+	}
+	return &Launch{rt: rt, name: name, points: points, kernel: kernel, opClass: machine.Stream}
+}
+
+// Add attaches a region requirement through a partition. The partition's
+// color c supplies point c's subspace; its color count must equal the
+// launch domain. Writing privileges require a disjoint partition.
+// Add returns the requirement's index for use with TaskContext accessors.
+func (l *Launch) Add(r *Region, part *Partition, priv Privilege) int {
+	if part == nil {
+		panic("legion: Add requires a partition; use AddWhole for unpartitioned requirements")
+	}
+	if part.Region() != r {
+		panic(fmt.Sprintf("legion: launch %q: partition of %q used for region %q",
+			l.name, part.Region().name, r.name))
+	}
+	if part.Colors() != l.points {
+		panic(fmt.Sprintf("legion: launch %q: partition has %d colors, launch has %d points",
+			l.name, part.Colors(), l.points))
+	}
+	if (priv == WriteDiscard || priv == ReadWrite) && !part.Disjoint() {
+		panic(fmt.Sprintf("legion: launch %q: write privilege through aliased partition of %q",
+			l.name, r.name))
+	}
+	l.reqs = append(l.reqs, req{region: r, part: part, priv: priv})
+	return len(l.reqs) - 1
+}
+
+// AddWhole attaches the entire region to every point task. Writing
+// privileges are only allowed for single-point launches.
+func (l *Launch) AddWhole(r *Region, priv Privilege) int {
+	if priv.writes() && priv != ReduceSum && l.points > 1 {
+		panic(fmt.Sprintf("legion: launch %q: whole-region write with %d points", l.name, l.points))
+	}
+	l.reqs = append(l.reqs, req{region: r, priv: priv})
+	return len(l.reqs) - 1
+}
+
+// SetArgs attaches by-value arguments visible to every point task.
+func (l *Launch) SetArgs(a any) *Launch { l.args = a; return l }
+
+// SetOpClass sets the cost-model class of the kernel (default Stream).
+func (l *Launch) SetOpClass(c machine.OpClass) *Launch { l.opClass = c; return l }
+
+// SetWork installs an explicit per-point work estimate (elements
+// processed), overriding the default estimate (the size of the point's
+// first written subspace, or first read subspace if none is written).
+func (l *Launch) SetWork(f func(point int) int64) *Launch { l.workFn = f; return l }
+
+// Future is the result of a reduction launch. Get blocks until the value
+// is ready; for multi-processor runs it also charges the modeled cost of
+// the all-reduce that a distributed execution would perform, which is the
+// overhead the paper observes dominating the CG solve at 32+ nodes (§6.1).
+type Future struct {
+	launch *launchState
+	rt     *Runtime
+}
+
+// Get waits for the producing launch and returns the reduced value.
+func (f *Future) Get() float64 {
+	f.launch.wait()
+	f.rt.chargeAllReduce()
+	return f.launch.reduced.Load().(float64)
+}
+
+// GetNoSync returns the reduced value without charging all-reduce cost;
+// used by tests that want the value without perturbing the sim clock.
+func (f *Future) GetNoSync() float64 {
+	f.launch.wait()
+	return f.launch.reduced.Load().(float64)
+}
+
+// TaskContext is the interface a kernel uses to reach its data. Accessor
+// methods take the requirement index returned by Launch.Add.
+type TaskContext struct {
+	launch     *launchState
+	point      int
+	subs       []geometry.IntervalSet
+	work       int64
+	partial    float64
+	hasPartial bool
+}
+
+// Point returns this point task's color within the launch domain.
+func (tc *TaskContext) Point() int { return tc.point }
+
+// NumPoints returns the launch domain size.
+func (tc *TaskContext) NumPoints() int { return tc.launch.points }
+
+// Args returns the launch arguments set with SetArgs.
+func (tc *TaskContext) Args() any { return tc.launch.args }
+
+// Subspace returns the index set of requirement i for this point.
+func (tc *TaskContext) Subspace(i int) geometry.IntervalSet { return tc.subs[i] }
+
+// Bounds returns the bounding interval of requirement i's subspace.
+func (tc *TaskContext) Bounds(i int) geometry.Rect { return tc.subs[i].Bounds() }
+
+// Float64 returns the float64 backing slice of requirement i's region.
+// The kernel must only touch indices within Subspace(i).
+func (tc *TaskContext) Float64(i int) []float64 { return tc.launch.reqs[i].region.Float64s() }
+
+// Int64 returns the int64 backing slice of requirement i's region.
+func (tc *TaskContext) Int64(i int) []int64 { return tc.launch.reqs[i].region.Int64s() }
+
+// Rects returns the rect backing slice of requirement i's region.
+func (tc *TaskContext) Rects(i int) []geometry.Rect { return tc.launch.reqs[i].region.Rects() }
+
+// Complex returns the complex128 backing slice of requirement i's region.
+func (tc *TaskContext) Complex(i int) []complex128 { return tc.launch.reqs[i].region.Complexes() }
+
+// SetWorkElems reports how many elements this point actually processed,
+// improving the cost model's duration estimate (e.g. a SpMV point reports
+// its nonzero count rather than its row count).
+func (tc *TaskContext) SetWorkElems(n int64) { tc.work = n }
+
+// Reduce contributes this point's partial value to the launch's reduction
+// future. Partials are summed.
+func (tc *TaskContext) Reduce(v float64) { tc.partial = v; tc.hasPartial = true }
+
+// ReduceAdd atomically adds v to element idx of requirement i's float64
+// region. Kernels must use it when accumulating through a ReduceSum
+// requirement whose partition is aliased across points.
+func (tc *TaskContext) ReduceAdd(i int, idx int64, v float64) {
+	s := tc.launch.reqs[i].region.Float64s()
+	addr := (*uint64)(unsafe.Pointer(&s[idx]))
+	for {
+		old := atomic.LoadUint64(addr)
+		cur := math.Float64frombits(old)
+		if atomic.CompareAndSwapUint64(addr, old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// launchState is the runtime's record of an executing launch: its
+// dependence edges, completion tracking, reduction accumulator, and
+// simulated-time bookkeeping.
+type launchState struct {
+	seq     int64
+	name    string
+	points  int
+	kernel  KernelFunc
+	reqs    []req
+	args    any
+	opClass machine.OpClass
+	reduce  bool
+	workFn  func(point int) int64
+
+	// Dependence DAG. depCount holds remaining unfinished dependencies
+	// plus a registration guard; the launch dispatches when it hits zero.
+	depCount  atomic.Int64
+	ready     atomic.Bool
+	completed bool
+	children  []*launchState
+	childMu   sync.Mutex
+
+	// Completion.
+	remaining atomic.Int64 // unfinished point tasks
+	done      chan struct{}
+	doneOnce  sync.Once
+
+	// Reduction result.
+	partialMu sync.Mutex
+	partials  float64
+	reduced   atomic.Value // float64
+
+	// Simulated time: the launch is "issued" at issueAt on the analysis
+	// timeline; it may start once its dependencies' finish times have
+	// passed; finishAt is the max point-task finish time.
+	issueAt    time.Duration
+	depReadyAt time.Duration
+	finishMu   sync.Mutex
+	finishAt   time.Duration
+}
+
+func (ls *launchState) wait() { <-ls.done }
+
+func (ls *launchState) recordFinish(t time.Duration) {
+	ls.finishMu.Lock()
+	if t > ls.finishAt {
+		ls.finishAt = t
+	}
+	ls.finishMu.Unlock()
+}
+
+func (ls *launchState) finishTime() time.Duration {
+	ls.finishMu.Lock()
+	defer ls.finishMu.Unlock()
+	return ls.finishAt
+}
+
+// resetTimeline zeroes the launch's simulated-time marks; only valid for
+// completed launches (callers hold the runtime fenced).
+func (ls *launchState) resetTimeline() {
+	ls.finishMu.Lock()
+	ls.finishAt = 0
+	ls.depReadyAt = 0
+	ls.finishMu.Unlock()
+	ls.issueAt = 0
+}

@@ -1,0 +1,61 @@
+package legion
+
+import "time"
+
+// Dynamic tracing [Lee et al., SC'18], the optimization the paper names
+// as the future fix for the overheads its GMG and quantum benchmarks
+// expose ("has kernels that run fast enough to expose overheads in
+// Legion that could be fixed in the future with tracing [18] and task
+// fusion [32]", §6.1).
+//
+// A trace memoizes the runtime's dependence analysis for a repeated
+// sequence of task launches: the first execution records and pays full
+// analysis cost; replays of the same trace skip most of the per-launch
+// and per-point analysis. Correctness is unaffected — the analysis
+// still runs (this is a simulation of its *cost*, the analysis itself
+// is cheap here) — but the simulated analysis timeline advances at
+// TraceReplayFactor of the normal rate, which is how real tracing
+// changes the Figure 10/11 picture. See bench.AblationTracing.
+
+// TraceReplayFactor is the fraction of launch-analysis cost paid while
+// replaying a recorded trace.
+const TraceReplayFactor = 0.1
+
+// BeginTrace marks the start of a traced sequence identified by id.
+// The first BeginTrace(id) records; subsequent ones replay. Traces must
+// not nest.
+func (rt *Runtime) BeginTrace(id int64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.traceActive {
+		panic("legion: traces cannot nest")
+	}
+	rt.traceActive = true
+	if rt.knownTraces == nil {
+		rt.knownTraces = map[int64]bool{}
+	}
+	rt.traceReplaying = rt.knownTraces[id]
+	rt.knownTraces[id] = true
+}
+
+// EndTrace closes the current traced sequence.
+func (rt *Runtime) EndTrace() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.traceActive {
+		panic("legion: EndTrace without BeginTrace")
+	}
+	rt.traceActive = false
+	rt.traceReplaying = false
+}
+
+// analysisCost returns the analysis-pipeline time of one launch with
+// the given point count, honoring an active trace replay. Callers hold
+// rt.mu.
+func (rt *Runtime) analysisCost(points int) time.Duration {
+	d := rt.cost.LaunchOverhead + time.Duration(points)*rt.cost.AnalysisPerPoint
+	if rt.traceActive && rt.traceReplaying {
+		d = time.Duration(float64(d) * TraceReplayFactor)
+	}
+	return d
+}

@@ -1,0 +1,108 @@
+package legion
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestTraceReplayReducesAnalysisTime: a repeated launch sequence inside
+// a trace replays with a fraction of the analysis cost, leaving results
+// unchanged.
+func TestTraceReplayReducesAnalysisTime(t *testing.T) {
+	run := func(traced bool) ([]float64, int64) {
+		m := machine.Summit(1)
+		rt := NewRuntime(m, m.Select(machine.GPU, 2))
+		defer rt.Shutdown()
+		x := rt.CreateRegion("x", 64, Float64)
+		part := rt.BlockPartition(x, 2)
+		step := func() {
+			l := rt.NewLaunch("inc", 2, func(tc *TaskContext) {
+				d := tc.Float64(0)
+				tc.Subspace(0).Each(func(i int64) { d[i]++ })
+			})
+			l.Add(x, part, ReadWrite)
+			l.Execute()
+		}
+		// Warm, then measure 10 iterations of a 5-launch "loop body".
+		step()
+		rt.Fence()
+		rt.ResetMetrics()
+		for iter := 0; iter < 10; iter++ {
+			if traced {
+				rt.BeginTrace(42)
+			}
+			for k := 0; k < 5; k++ {
+				step()
+			}
+			if traced {
+				rt.EndTrace()
+			}
+		}
+		rt.Fence()
+		return x.Float64s(), int64(rt.SimTime())
+	}
+	plainData, plainTime := run(false)
+	tracedData, tracedTime := run(true)
+	for i := range plainData {
+		if plainData[i] != tracedData[i] {
+			t.Fatalf("tracing changed results at %d: %v vs %v", i, plainData[i], tracedData[i])
+		}
+	}
+	// The workload is tiny, so launches are analysis-bound; replaying 9
+	// of 10 trace iterations should cut simulated time well below the
+	// untraced run.
+	if float64(tracedTime) > 0.5*float64(plainTime) {
+		t.Errorf("tracing should cut analysis-bound time >2x: %d vs %d", tracedTime, plainTime)
+	}
+}
+
+func TestTraceMisuse(t *testing.T) {
+	m := machine.Summit(1)
+	rt := NewRuntime(m, m.Select(machine.GPU, 1))
+	defer rt.Shutdown()
+	rt.BeginTrace(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested BeginTrace must panic")
+			}
+		}()
+		rt.BeginTrace(2)
+	}()
+	rt.EndTrace()
+	defer func() {
+		if recover() == nil {
+			t.Error("EndTrace without BeginTrace must panic")
+		}
+	}()
+	rt.EndTrace()
+}
+
+// TestTraceFirstRecordingPaysFullCost: the first execution of a trace id
+// records at full cost; only subsequent replays are cheap.
+func TestTraceFirstRecordingPaysFullCost(t *testing.T) {
+	m := machine.Summit(1)
+	rt := NewRuntime(m, m.Select(machine.GPU, 1))
+	defer rt.Shutdown()
+	x := rt.CreateRegion("x", 8, Float64)
+	launch := func() {
+		l := rt.NewLaunch("t", 1, func(tc *TaskContext) {})
+		l.AddWhole(x, ReadOnly)
+		l.Execute()
+	}
+	rt.BeginTrace(7)
+	launch()
+	rt.EndTrace()
+	rt.Fence()
+	first := rt.SimTime()
+	rt.ResetMetrics()
+	rt.BeginTrace(7)
+	launch()
+	rt.EndTrace()
+	rt.Fence()
+	replay := rt.SimTime()
+	if float64(replay) > 0.5*float64(first) {
+		t.Errorf("replay (%v) should be much cheaper than recording (%v)", replay, first)
+	}
+}

@@ -1,0 +1,233 @@
+package machine
+
+import "time"
+
+// OpClass buckets kernels by their dominant hardware bottleneck so the
+// cost model can assign a throughput without knowing the kernel.
+type OpClass int
+
+const (
+	// Stream covers dense, memory-bandwidth-bound kernels (element-wise
+	// ops, axpy, copies through compute).
+	Stream OpClass = iota
+	// SparseIter covers irregular per-nonzero kernels with gather/scatter
+	// (SpMV, SpMM, SDDMM, format conversion): lower throughput than
+	// Stream because of indirection.
+	SparseIter
+	// Reduction covers dot products, norms, and axis sums: streaming
+	// reads plus a combine tree.
+	Reduction
+	// Compute covers flop-heavy kernels (dense GEMM tiles in SDDMM/MF).
+	Compute
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case Stream:
+		return "stream"
+	case SparseIter:
+		return "sparse"
+	case Reduction:
+		return "reduction"
+	case Compute:
+		return "compute"
+	default:
+		return "opclass?"
+	}
+}
+
+// CostModel holds the constants that convert work and data movement into
+// simulated time. Rates are elements per second; bandwidths are bytes per
+// second. The per-launch and per-point overheads model the runtime system
+// itself and are the lever that distinguishes the systems compared in the
+// paper: Legate (dynamic dependence analysis, Python dispatch) pays more
+// per launch than PETSc's static MPI schedule or CuPy's direct kernel
+// launches, which is exactly what Figures 10–12 attribute Legate's
+// single-GPU gap to.
+type CostModel struct {
+	// Rate[kind][class] is the kernel throughput in elements/second.
+	Rate map[ProcKind]map[OpClass]float64
+
+	// Bandwidth[link] is bytes/second for one transfer over the link.
+	Bandwidth [4]float64
+	// Latency[link] is the fixed setup time of one transfer.
+	Latency [4]time.Duration
+
+	// LaunchOverhead is charged once per (index) task launch: dependence
+	// analysis, partition solving, Python-level dispatch.
+	LaunchOverhead time.Duration
+	// AnalysisPerPoint is additional analysis time per point of a
+	// launch: Legion's dynamic dependence analysis and per-point
+	// meta-data management grow with the launch domain, which is how
+	// fast kernels "expose overheads in Legion" at large processor
+	// counts (§6.1; fixable in the real system with tracing [18] and
+	// task fusion [32]).
+	AnalysisPerPoint time.Duration
+	// PointOverhead is charged per point task: per-processor meta-data
+	// management and kernel launch.
+	PointOverhead time.Duration
+
+	// AllReduceBase and AllReducePerHop model a latency-bound all-reduce
+	// across P processors as Base + PerHop*ceil(log2 P). The paper notes
+	// Legion's all-reduce has overheads that surface at ≥32 nodes in the
+	// CG solve; LegateCost uses a larger PerHop than PETScCost for this
+	// reason.
+	AllReduceBase   time.Duration
+	AllReducePerHop time.Duration
+
+	// MemCapacity[kind] bounds the modeled bytes resident on one
+	// processor of that kind; 0 means unlimited. GPUs get a V100-like
+	// 16 GB framebuffer, minus what the runtime reserves (the paper notes
+	// Legate cannot run as close to the memory limit as CuPy because
+	// Legion and CUDA libraries reserve GPU memory).
+	MemCapacity map[ProcKind]int64
+
+	// AllocStall is charged per mapped requirement while a processor's
+	// memory usage exceeds AllocStallThreshold of its capacity. It
+	// models an on-demand caching allocator (CuPy's) thrashing near the
+	// memory limit — the paper observes CuPy "runs close to the GPU
+	// memory limit on the 25m dataset" and loses half its throughput.
+	// Legion instead reserves its memory eagerly at startup, so the
+	// Legate cost models leave this at zero.
+	AllocStall time.Duration
+}
+
+// AllocStallThreshold is the memory-usage fraction above which
+// AllocStall applies.
+const AllocStallThreshold = 0.85
+
+// Common capacity constants (bytes).
+const (
+	GiB            = int64(1) << 30
+	gpuFramebuffer = 16 * GiB
+)
+
+// DefaultCostModel returns the Legate cost model; see LegateCost.
+func DefaultCostModel() CostModel { return LegateCost() }
+
+func baseCost() CostModel {
+	return CostModel{
+		Rate: map[ProcKind]map[OpClass]float64{
+			CPU: {
+				Stream:     3.0e9,
+				SparseIter: 1.2e9,
+				Reduction:  2.5e9,
+				Compute:    4.0e9,
+			},
+			GPU: {
+				Stream:     3.0e10,
+				SparseIter: 1.1e10,
+				Reduction:  2.5e10,
+				Compute:    6.0e10,
+			},
+		},
+		Bandwidth: [4]float64{
+			SameProc:  0, // unused; same-proc transfers are free
+			IntraNode: 60e9,
+			NVLink:    150e9,
+			InterNode: 12.5e9,
+		},
+		Latency: [4]time.Duration{
+			SameProc:  0,
+			IntraNode: 2 * time.Microsecond,
+			NVLink:    2 * time.Microsecond,
+			InterNode: 5 * time.Microsecond,
+		},
+		MemCapacity: map[ProcKind]int64{GPU: gpuFramebuffer},
+	}
+}
+
+// LegateCost models the Legate/Legion runtime: dynamic dependence
+// analysis and Python-level task launching cost ~100µs per launch, and
+// the framebuffer available to the application is reduced by the memory
+// Legion and external CUDA libraries reserve.
+func LegateCost() CostModel {
+	c := baseCost()
+	c.LaunchOverhead = 120 * time.Microsecond
+	c.AnalysisPerPoint = 2 * time.Microsecond
+	c.PointOverhead = 25 * time.Microsecond
+	c.AllReduceBase = 40 * time.Microsecond
+	c.AllReducePerHop = 45 * time.Microsecond
+	c.MemCapacity = map[ProcKind]int64{GPU: gpuFramebuffer - 2*GiB}
+	return c
+}
+
+// PETScCost models a hand-tuned explicitly-parallel MPI library: near-zero
+// launch overhead (the schedule is static C code) and an efficient MPI
+// all-reduce.
+func PETScCost() CostModel {
+	c := baseCost()
+	c.LaunchOverhead = 4 * time.Microsecond
+	c.PointOverhead = 4 * time.Microsecond
+	c.AllReduceBase = 10 * time.Microsecond
+	c.AllReducePerHop = 8 * time.Microsecond
+	return c
+}
+
+// CuPyCost models single-GPU CuPy: direct kernel launches with small
+// fixed overhead, no distribution machinery, and the full framebuffer
+// available (CuPy can run much closer to the memory limit than Legate).
+// CuPy's cuSPARSE SDDMM is less efficient than the DISTAL-generated
+// kernel (§6.2), modeled by the caller lowering the Compute rate.
+func CuPyCost() CostModel {
+	c := baseCost()
+	c.LaunchOverhead = 8 * time.Microsecond
+	c.PointOverhead = 4 * time.Microsecond
+	c.AllocStall = 150 * time.Microsecond
+	return c
+}
+
+// SciPyCost models single-threaded SciPy: negligible launch overhead but
+// a single thread, i.e. a fraction of one socket's parallel throughput.
+// Most SciPy Sparse operations are single-threaded (§6.1), so a "socket"
+// running SciPy sustains far less than Legate's multi-threaded kernels.
+func SciPyCost() CostModel {
+	c := baseCost()
+	c.LaunchOverhead = 1 * time.Microsecond
+	c.PointOverhead = 0
+	// One core out of a 20-core socket, with some single-thread boost.
+	for class, r := range c.Rate[CPU] {
+		c.Rate[CPU][class] = r / 12
+		_ = class
+	}
+	return c
+}
+
+// KernelTime returns the modeled execution time of a point task that
+// processes elems elements of the given class on a processor of the given
+// kind (excluding overheads, which the scheduler adds per launch/point).
+func (c *CostModel) KernelTime(kind ProcKind, class OpClass, elems int64) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	rate := c.Rate[kind][class]
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(elems) / rate * float64(time.Second))
+}
+
+// CopyTime returns the modeled time to move n bytes over the given link.
+func (c *CostModel) CopyTime(link LinkClass, n int64) time.Duration {
+	if n <= 0 || link == SameProc {
+		return 0
+	}
+	bw := c.Bandwidth[link]
+	if bw <= 0 {
+		return c.Latency[link]
+	}
+	return c.Latency[link] + time.Duration(float64(n)/bw*float64(time.Second))
+}
+
+// AllReduceTime returns the modeled time for an all-reduce across p
+// participants.
+func (c *CostModel) AllReduceTime(p int) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	hops := 0
+	for n := 1; n < p; n *= 2 {
+		hops++
+	}
+	return c.AllReduceBase + time.Duration(hops)*c.AllReducePerHop
+}

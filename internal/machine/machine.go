@@ -1,0 +1,261 @@
+// Package machine models the execution hardware that the runtime schedules
+// onto. The paper evaluated on the Summit supercomputer (dual-socket IBM
+// Power9 nodes, 3 NVIDIA V100s per socket on NVLink 2.0, Infiniband EDR
+// between nodes); no such machine is available here, so this package
+// provides an explicit synthetic topology with a calibrated cost model:
+//
+//   - processors (CPU sockets and GPUs) with per-operation-class compute
+//     rates (elements per second),
+//   - a link model classifying every processor pair as same-processor,
+//     same-node CPU interconnect, same-node NVLink, or inter-node
+//     Infiniband, each with its own bandwidth and latency,
+//   - per-run statistics counting tasks, copies, and bytes moved per link
+//     class.
+//
+// Real kernels still run on real host cores; the machine model only
+// attributes *simulated time* to work and data movement so that
+// weak-scaling behaviour can be studied without a cluster. The default
+// rate and bandwidth constants are calibrated so that the qualitative
+// relationships reported in the paper hold (GPUs roughly an order of
+// magnitude faster than a CPU socket on streaming sparse kernels, NVLink
+// several times faster than Infiniband, and so on); absolute throughput
+// numbers are not meaningful.
+package machine
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ProcKind distinguishes the processor varieties of the machine.
+// The paper's heterogeneity problems (kernels must exist for every
+// processor kind or data thrashes between memories) are keyed on this.
+type ProcKind int
+
+const (
+	// CPU is one CPU socket treated as a single multi-threaded processor,
+	// matching how the paper weak-scales "sockets".
+	CPU ProcKind = iota
+	// GPU is a single accelerator with its own framebuffer memory.
+	GPU
+)
+
+func (k ProcKind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("ProcKind(%d)", int(k))
+	}
+}
+
+// ProcID identifies a processor within a Machine.
+type ProcID int
+
+// Processor is one schedulable compute resource and its placement in the
+// node/socket topology, which determines the link class of every transfer
+// to or from it.
+type Processor struct {
+	ID     ProcID
+	Kind   ProcKind
+	Node   int // which node the processor lives on
+	Socket int // which socket within the node
+}
+
+// LinkClass classifies the channel a copy travels over.
+type LinkClass int
+
+const (
+	// SameProc transfers stay within one processor's memory (free).
+	SameProc LinkClass = iota
+	// IntraNode covers CPU-CPU and CPU-GPU traffic within one node over
+	// the system bus.
+	IntraNode
+	// NVLink covers GPU-GPU traffic within one node.
+	NVLink
+	// InterNode covers all traffic between nodes (Infiniband).
+	InterNode
+)
+
+func (l LinkClass) String() string {
+	switch l {
+	case SameProc:
+		return "same-proc"
+	case IntraNode:
+		return "intra-node"
+	case NVLink:
+		return "nvlink"
+	case InterNode:
+		return "inter-node"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", int(l))
+	}
+}
+
+// Machine is a synthetic cluster topology.
+type Machine struct {
+	Nodes          int
+	SocketsPerNode int
+	GPUsPerSocket  int
+	Procs          []Processor
+	cost           CostModel
+}
+
+// Config describes the shape of a synthetic cluster. The zero value of
+// each field is replaced by the Summit-like default.
+type Config struct {
+	Nodes          int // default 1
+	SocketsPerNode int // default 2 (Summit: dual-socket Power9)
+	GPUsPerSocket  int // default 3 (Summit: 3 V100 per socket)
+	Cost           *CostModel
+}
+
+// New builds a Machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.SocketsPerNode <= 0 {
+		cfg.SocketsPerNode = 2
+	}
+	if cfg.GPUsPerSocket < 0 {
+		cfg.GPUsPerSocket = 0
+	} else if cfg.GPUsPerSocket == 0 {
+		cfg.GPUsPerSocket = 3
+	}
+	m := &Machine{
+		Nodes:          cfg.Nodes,
+		SocketsPerNode: cfg.SocketsPerNode,
+		GPUsPerSocket:  cfg.GPUsPerSocket,
+	}
+	if cfg.Cost != nil {
+		m.cost = *cfg.Cost
+	} else {
+		m.cost = DefaultCostModel()
+	}
+	id := ProcID(0)
+	for n := 0; n < cfg.Nodes; n++ {
+		for s := 0; s < cfg.SocketsPerNode; s++ {
+			m.Procs = append(m.Procs, Processor{ID: id, Kind: CPU, Node: n, Socket: s})
+			id++
+			for g := 0; g < cfg.GPUsPerSocket; g++ {
+				m.Procs = append(m.Procs, Processor{ID: id, Kind: GPU, Node: n, Socket: s})
+				id++
+			}
+		}
+	}
+	return m
+}
+
+// Summit returns a machine shaped like nodes of the Summit supercomputer.
+func Summit(nodes int) *Machine {
+	return New(Config{Nodes: nodes, SocketsPerNode: 2, GPUsPerSocket: 3})
+}
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() *CostModel { return &m.cost }
+
+// Proc returns the processor with the given id.
+func (m *Machine) Proc(id ProcID) Processor { return m.Procs[int(id)] }
+
+// Select returns the IDs of up to n processors of the given kind, filling
+// sockets (and for GPUs, the GPUs within a socket) in order so that small
+// selections stay within one node — the same placement the paper's
+// experiments use (e.g. "1 socket / 3 GPUs" stays on one socket).
+// It panics if the machine has fewer than n processors of that kind.
+func (m *Machine) Select(kind ProcKind, n int) []ProcID {
+	out := make([]ProcID, 0, n)
+	for _, p := range m.Procs {
+		if p.Kind == kind {
+			out = append(out, p.ID)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	panic(fmt.Sprintf("machine: requested %d %v processors, machine has %d", n, kind, len(out)))
+}
+
+// CountKind returns how many processors of the given kind the machine has.
+func (m *Machine) CountKind(kind ProcKind) int {
+	n := 0
+	for _, p := range m.Procs {
+		if p.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Link classifies the channel between two processors.
+func (m *Machine) Link(a, b ProcID) LinkClass {
+	if a == b {
+		return SameProc
+	}
+	pa, pb := m.Proc(a), m.Proc(b)
+	if pa.Node != pb.Node {
+		return InterNode
+	}
+	if pa.Kind == GPU && pb.Kind == GPU {
+		return NVLink
+	}
+	return IntraNode
+}
+
+// NodesUsed returns the number of distinct nodes hosting the given
+// processors. The aggregate inter-node bandwidth available to an
+// application scales with this count, which is the mechanism behind the
+// paper's observation that 16 GPUs (4 nodes) can lose to 16 CPU sockets
+// (8 nodes) on a communication-bound workload (Figure 11).
+func (m *Machine) NodesUsed(procs []ProcID) int {
+	seen := map[int]bool{}
+	for _, id := range procs {
+		seen[m.Proc(id).Node] = true
+	}
+	return len(seen)
+}
+
+// Stats accumulates observable behaviour of a run: task counts and data
+// movement per link class. All counters are atomic so point tasks running
+// in parallel can update them without locks.
+type Stats struct {
+	Tasks       atomic.Int64
+	PointTasks  atomic.Int64
+	Copies      atomic.Int64
+	CopiedBytes [4]atomic.Int64 // indexed by LinkClass
+	AllReduces  atomic.Int64
+	ReallocCopy atomic.Int64 // bytes copied due to allocation resizing (§4.3)
+}
+
+// AddCopy records a copy of n bytes over link class l.
+func (s *Stats) AddCopy(l LinkClass, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.Copies.Add(1)
+	s.CopiedBytes[l].Add(n)
+}
+
+// TotalBytes returns all bytes copied, regardless of link class.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for i := range s.CopiedBytes {
+		t += s.CopiedBytes[i].Load()
+	}
+	return t
+}
+
+// MovedBytes returns bytes that crossed between distinct processors.
+func (s *Stats) MovedBytes() int64 {
+	return s.TotalBytes() - s.CopiedBytes[SameProc].Load()
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("tasks=%d points=%d copies=%d bytes[same=%d intra=%d nvlink=%d inter=%d] realloc=%d allreduce=%d",
+		s.Tasks.Load(), s.PointTasks.Load(), s.Copies.Load(),
+		s.CopiedBytes[SameProc].Load(), s.CopiedBytes[IntraNode].Load(),
+		s.CopiedBytes[NVLink].Load(), s.CopiedBytes[InterNode].Load(),
+		s.ReallocCopy.Load(), s.AllReduces.Load())
+}

@@ -1,0 +1,189 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummitTopology(t *testing.T) {
+	m := Summit(2)
+	if got := m.CountKind(CPU); got != 4 {
+		t.Fatalf("CPU sockets = %d, want 4", got)
+	}
+	if got := m.CountKind(GPU); got != 12 {
+		t.Fatalf("GPUs = %d, want 12", got)
+	}
+	if len(m.Procs) != 16 {
+		t.Fatalf("total procs = %d, want 16", len(m.Procs))
+	}
+}
+
+func TestSelectFillsNodesInOrder(t *testing.T) {
+	m := Summit(4)
+	gpus := m.Select(GPU, 6)
+	for _, id := range gpus {
+		if m.Proc(id).Node != 0 {
+			t.Fatalf("first 6 GPUs should be on node 0, got node %d", m.Proc(id).Node)
+		}
+	}
+	if n := m.NodesUsed(gpus); n != 1 {
+		t.Fatalf("6 GPUs should use 1 node, got %d", n)
+	}
+	gpus12 := m.Select(GPU, 12)
+	if n := m.NodesUsed(gpus12); n != 2 {
+		t.Fatalf("12 GPUs should use 2 nodes, got %d", n)
+	}
+	cpus := m.Select(CPU, 4)
+	if n := m.NodesUsed(cpus); n != 2 {
+		t.Fatalf("4 sockets should use 2 nodes, got %d", n)
+	}
+}
+
+func TestSelectPanicsWhenTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select must panic when the machine is too small")
+		}
+	}()
+	Summit(1).Select(GPU, 7)
+}
+
+func TestLinkClassification(t *testing.T) {
+	m := Summit(2)
+	var cpu0, gpu0a, gpu0b, gpu1 ProcID = -1, -1, -1, -1
+	for _, p := range m.Procs {
+		switch {
+		case p.Kind == CPU && p.Node == 0 && cpu0 < 0:
+			cpu0 = p.ID
+		case p.Kind == GPU && p.Node == 0 && gpu0a < 0:
+			gpu0a = p.ID
+		case p.Kind == GPU && p.Node == 0 && gpu0b < 0:
+			gpu0b = p.ID
+		case p.Kind == GPU && p.Node == 1 && gpu1 < 0:
+			gpu1 = p.ID
+		}
+	}
+	if got := m.Link(gpu0a, gpu0a); got != SameProc {
+		t.Errorf("self link = %v", got)
+	}
+	if got := m.Link(gpu0a, gpu0b); got != NVLink {
+		t.Errorf("intra-node GPU-GPU = %v, want NVLink", got)
+	}
+	if got := m.Link(cpu0, gpu0a); got != IntraNode {
+		t.Errorf("CPU-GPU same node = %v, want IntraNode", got)
+	}
+	if got := m.Link(gpu0a, gpu1); got != InterNode {
+		t.Errorf("cross-node = %v, want InterNode", got)
+	}
+}
+
+func TestCostModelRelationships(t *testing.T) {
+	c := LegateCost()
+	// GPUs must be roughly an order of magnitude faster than CPU sockets
+	// on sparse kernels (paper Figures 8-9 show ~10x between the curves).
+	ratio := c.Rate[GPU][SparseIter] / c.Rate[CPU][SparseIter]
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("GPU/CPU sparse rate ratio = %.1f, want within [5,20]", ratio)
+	}
+	// NVLink must beat Infiniband by several x.
+	if c.Bandwidth[NVLink] < 4*c.Bandwidth[InterNode] {
+		t.Error("NVLink should be several times faster than InterNode")
+	}
+	// Legate pays more launch overhead than PETSc and CuPy.
+	if p := PETScCost(); c.LaunchOverhead <= p.LaunchOverhead {
+		t.Error("Legate launch overhead should exceed PETSc's")
+	}
+	if cu := CuPyCost(); c.LaunchOverhead <= cu.LaunchOverhead {
+		t.Error("Legate launch overhead should exceed CuPy's")
+	}
+	// SciPy is much slower than a full socket.
+	if s := SciPyCost(); s.Rate[CPU][Stream] >= c.Rate[CPU][Stream]/4 {
+		t.Error("SciPy single-thread rate should be far below a socket")
+	}
+	// Legate reserves GPU memory, CuPy does not.
+	if LegateCost().MemCapacity[GPU] >= CuPyCost().MemCapacity[GPU] {
+		t.Error("Legate usable framebuffer must be below CuPy's")
+	}
+}
+
+func TestKernelAndCopyTime(t *testing.T) {
+	c := LegateCost()
+	if d := c.KernelTime(CPU, Stream, 0); d != 0 {
+		t.Errorf("zero elements should take zero time, got %v", d)
+	}
+	d1 := c.KernelTime(CPU, Stream, 1e6)
+	d2 := c.KernelTime(CPU, Stream, 2e6)
+	if d2 <= d1 {
+		t.Error("kernel time must grow with elements")
+	}
+	if c.CopyTime(SameProc, 1<<20) != 0 {
+		t.Error("same-proc copies are free")
+	}
+	ct := c.CopyTime(InterNode, 1<<30)
+	if ct <= c.Latency[InterNode] {
+		t.Error("1GiB inter-node copy must cost more than latency")
+	}
+	if nv := c.CopyTime(NVLink, 1<<30); nv >= ct {
+		t.Error("NVLink copy must be faster than inter-node copy")
+	}
+}
+
+func TestAllReduceTime(t *testing.T) {
+	c := LegateCost()
+	if c.AllReduceTime(1) != 0 {
+		t.Error("all-reduce over 1 participant is free")
+	}
+	t2, t64 := c.AllReduceTime(2), c.AllReduceTime(64)
+	if t64 <= t2 {
+		t.Error("all-reduce time must grow with participants")
+	}
+	// log2(64)=6 hops vs 1 hop.
+	want := c.AllReduceBase + 6*c.AllReducePerHop
+	if t64 != want {
+		t.Errorf("AllReduceTime(64) = %v, want %v", t64, want)
+	}
+	// Legate's all-reduce must be costlier than PETSc's at scale (§6.1).
+	if p := PETScCost(); c.AllReduceTime(192) <= p.AllReduceTime(192) {
+		t.Error("Legate all-reduce should cost more than PETSc at 192 procs")
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.AddCopy(InterNode, 100)
+	s.AddCopy(NVLink, 50)
+	s.AddCopy(SameProc, 25)
+	s.AddCopy(IntraNode, 0) // ignored
+	if s.Copies.Load() != 3 {
+		t.Errorf("copies = %d, want 3", s.Copies.Load())
+	}
+	if s.TotalBytes() != 175 {
+		t.Errorf("total = %d, want 175", s.TotalBytes())
+	}
+	if s.MovedBytes() != 150 {
+		t.Errorf("moved = %d, want 150", s.MovedBytes())
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	m := New(Config{})
+	if m.Nodes != 1 || m.SocketsPerNode != 2 || m.GPUsPerSocket != 3 {
+		t.Fatalf("defaults wrong: %+v", m)
+	}
+	cpuOnly := New(Config{Nodes: 2, SocketsPerNode: 2, GPUsPerSocket: -1})
+	if cpuOnly.CountKind(GPU) != 0 {
+		t.Fatal("GPUsPerSocket=-1 should build a CPU-only machine")
+	}
+}
+
+func TestKernelTimeUnits(t *testing.T) {
+	c := baseCost()
+	// 3e9 elements at 3e9 elem/s on a CPU stream = 1 second.
+	got := c.KernelTime(CPU, Stream, 3_000_000_000)
+	if got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Fatalf("KernelTime = %v, want ~1s", got)
+	}
+}

@@ -1,0 +1,231 @@
+package quantum
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+	"repro/internal/solvers"
+)
+
+// Adiabatic Maximum-Independent-Set protocol. The paper's quantum
+// benchmark simulates Rydberg atom arrays "used to solve Maximum
+// Independent Set (MIS) problems, as pioneered by the group of Mikhail
+// D. Lukin and QuEra Computing": the blockade constraint makes every
+// basis state an independent set of the interaction graph, and an
+// adiabatic sweep of the laser detuning from strongly negative
+// (all-ground favored) to strongly positive (maximal excitation
+// favored) steers the system into the maximum independent sets.
+//
+// The time-dependent Hamiltonian splits into two static sparse parts,
+// H(t) = Ω(t)·X + Δ(t)·D, where X is the blockade-respecting spin-flip
+// operator (coupling ½ per flip) and D = -Σᵢ nᵢ the excitation-number
+// diagonal; the sweep evolves dψ/dt = -i H(t) ψ with the same RK
+// machinery as the fixed benchmark, at two SpMV pairs per evaluation.
+
+// Sweep is an annealing run on a Rydberg chain.
+type Sweep struct {
+	Atoms int
+	Basis []uint64
+	HX    *core.CSR // spin-flip part (coefficient Ω(t))
+	HD    *core.CSR // excitation-number diagonal (coefficient Δ(t))
+	Re    *cunumeric.Array
+	Im    *cunumeric.Array
+
+	// OmegaAt and DeltaAt give the drive at time t ∈ [0, T].
+	OmegaAt func(t float64) float64
+	DeltaAt func(t float64) float64
+	T       float64
+
+	rt       *legion.Runtime
+	txr, txi *cunumeric.Array // X·ψ scratch
+	tdr, tdi *cunumeric.Array // D·ψ scratch
+}
+
+// NewSweep builds the two Hamiltonian parts and the standard annealing
+// schedule: constant Rabi drive, detuning ramped linearly from -delta0
+// to +delta1 over duration T.
+func NewSweep(rt *legion.Runtime, atoms int, omega, delta0, delta1, T float64) *Sweep {
+	basis := EnumerateBasis(atoms)
+	index := make(map[uint64]int64, len(basis))
+	for i, s := range basis {
+		index[s] = int64(i)
+	}
+	n := int64(len(basis))
+
+	// X: coupling 1/2 on every blockade-allowed single flip.
+	var xr, xc []int64
+	var xv []float64
+	// D: -popcount on the diagonal.
+	var dr, dc []int64
+	var dv []float64
+	for si, s := range basis {
+		if p := bits.OnesCount64(s); p > 0 {
+			dr = append(dr, int64(si))
+			dc = append(dc, int64(si))
+			dv = append(dv, -float64(p))
+		}
+		for a := 0; a < atoms; a++ {
+			t := s ^ (1 << a)
+			if t&(t>>1) != 0 {
+				continue
+			}
+			xr = append(xr, int64(si))
+			xc = append(xc, index[t])
+			xv = append(xv, 0.5)
+		}
+	}
+	sw := &Sweep{
+		Atoms: atoms,
+		Basis: basis,
+		HX:    core.NewCOO(rt, n, n, xr, xc, xv).ToCSR(),
+		HD:    core.NewCOO(rt, n, n, dr, dc, dv).ToCSR(),
+		Re:    cunumeric.Zeros(rt, n),
+		Im:    cunumeric.Zeros(rt, n),
+		T:     T,
+		rt:    rt,
+		txr:   cunumeric.Zeros(rt, n),
+		txi:   cunumeric.Zeros(rt, n),
+		tdr:   cunumeric.Zeros(rt, n),
+		tdi:   cunumeric.Zeros(rt, n),
+	}
+	sw.OmegaAt = func(t float64) float64 { return omega }
+	sw.DeltaAt = func(t float64) float64 {
+		frac := t / T
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return -delta0 + (delta0+delta1)*frac
+	}
+	rt.Fence()
+	sw.Re.Region().Float64s()[0] = 1 // |00…0⟩, the Δ→-∞ ground state
+	return sw
+}
+
+// Destroy releases the sweep's distributed state.
+func (s *Sweep) Destroy() {
+	s.HX.Destroy()
+	s.HD.Destroy()
+	for _, a := range []*cunumeric.Array{s.Re, s.Im, s.txr, s.txi, s.tdr, s.tdi} {
+		a.Destroy()
+	}
+}
+
+// RHS evaluates the time-dependent Schrödinger right-hand side:
+// H(t)ψ = Ω(t)·Xψ + Δ(t)·Dψ, then re' = H im, im' = -H re.
+// Note D carries -popcount, so DeltaAt > 0 *lowers* the energy of
+// highly excited states, exactly the MIS-favoring regime.
+func (s *Sweep) RHS(t float64, y, out []*cunumeric.Array) {
+	om, de := s.OmegaAt(t), s.DeltaAt(t)
+	s.HX.SpMVInto(s.txr, y[0])
+	s.HX.SpMVInto(s.txi, y[1])
+	s.HD.SpMVInto(s.tdr, y[0])
+	s.HD.SpMVInto(s.tdi, y[1])
+	// out0 = om*txi + de*tdi ; out1 = -(om*txr + de*tdr)
+	cunumeric.Copy(out[0], s.txi)
+	out[0].Scale(om)
+	cunumeric.AXPY(de, s.tdi, out[0])
+	cunumeric.Copy(out[1], s.txr)
+	out[1].Scale(-om)
+	cunumeric.AXPY(-de, s.tdr, out[1])
+}
+
+// Run executes the sweep with fixed RK8 steps.
+func (s *Sweep) Run(steps int) {
+	rk := solvers.NewRK(s.rt, solvers.CooperVerner8(), 2, int64(len(s.Basis)))
+	defer rk.Destroy()
+	h := s.T / float64(steps)
+	rk.Integrate(s.RHS, 0, h, steps, []*cunumeric.Array{s.Re, s.Im})
+}
+
+// MISSize returns the maximum-independent-set size of the chain's path
+// graph: ⌈n/2⌉ (alternating excitation pattern).
+func (s *Sweep) MISSize() int { return (s.Atoms + 1) / 2 }
+
+// MISProbability returns the probability mass on states whose
+// excitation count equals the MIS size — the success metric of the
+// annealing protocol.
+func (s *Sweep) MISProbability() float64 {
+	s.rt.Fence()
+	re, im := s.Re.Region().Float64s(), s.Im.Region().Float64s()
+	target := s.MISSize()
+	var p float64
+	for i, st := range s.Basis {
+		if bits.OnesCount64(st) == target {
+			p += re[i]*re[i] + im[i]*im[i]
+		}
+	}
+	return p
+}
+
+// NormSquared returns ⟨ψ|ψ⟩.
+func (s *Sweep) NormSquared() float64 {
+	return cunumeric.Dot(s.Re, s.Re).Get() + cunumeric.Dot(s.Im, s.Im).Get()
+}
+
+// GroundEnergy returns the exact smallest eigenvalue of the final
+// Hamiltonian H(T) for verification on small chains, via dense Jacobi
+// eigenvalue iteration on the host.
+func (s *Sweep) GroundEnergy() float64 {
+	n := int64(len(s.Basis))
+	hx := s.HX.ToDense()
+	hd := s.HD.ToDense()
+	h := make([]float64, n*n)
+	om, de := s.OmegaAt(s.T), s.DeltaAt(s.T)
+	for i := range h {
+		h[i] = om*hx[i] + de*hd[i]
+	}
+	return smallestEigen(h, n)
+}
+
+// smallestEigen finds the minimum eigenvalue of a small symmetric
+// matrix by inverse power iteration on (cI - H).
+func smallestEigen(h []float64, n int64) float64 {
+	// Shift so the target becomes the dominant eigenvalue of (cI - H).
+	var c float64
+	for i := int64(0); i < n; i++ {
+		var row float64
+		for j := int64(0); j < n; j++ {
+			row += math.Abs(h[i*n+j])
+		}
+		if row > c {
+			c = row
+		}
+	}
+	v := make([]float64, n)
+	w := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	for it := 0; it < 500; it++ {
+		for i := int64(0); i < n; i++ {
+			var acc float64
+			for j := int64(0); j < n; j++ {
+				acc -= h[i*n+j] * v[j]
+			}
+			w[i] = acc + c*v[i]
+		}
+		var nrm float64
+		for _, x := range w {
+			nrm += x * x
+		}
+		nrm = math.Sqrt(nrm)
+		for i := range v {
+			v[i] = w[i] / nrm
+		}
+	}
+	var lambda float64
+	for i := int64(0); i < n; i++ {
+		var acc float64
+		for j := int64(0); j < n; j++ {
+			acc += h[i*n+j] * v[j]
+		}
+		lambda += v[i] * acc
+	}
+	return lambda
+}

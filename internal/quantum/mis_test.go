@@ -1,0 +1,83 @@
+package quantum
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestSweepConstruction(t *testing.T) {
+	rt := newRT(t, 2)
+	sw := NewSweep(rt, 5, 1.0, 4.0, 4.0, 10.0)
+	defer sw.Destroy()
+	if sw.MISSize() != 3 {
+		t.Fatalf("path-5 MIS size = %d, want 3", sw.MISSize())
+	}
+	// Schedule endpoints.
+	if got := sw.DeltaAt(0); got != -4 {
+		t.Fatalf("Δ(0) = %v, want -4", got)
+	}
+	if got := sw.DeltaAt(10); got != 4 {
+		t.Fatalf("Δ(T) = %v, want 4", got)
+	}
+	if got := sw.DeltaAt(5); math.Abs(got) > 1e-12 {
+		t.Fatalf("Δ(T/2) = %v, want 0", got)
+	}
+	// The X part must be symmetric with ½ couplings; D strictly diagonal.
+	n := int64(len(sw.Basis))
+	hx := sw.HX.ToDense()
+	hd := sw.HD.ToDense()
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			if hx[i*n+j] != hx[j*n+i] {
+				t.Fatal("X not symmetric")
+			}
+			if i != j && hd[i*n+j] != 0 {
+				t.Fatal("D not diagonal")
+			}
+		}
+		if hd[i*n+i] != -float64(bits.OnesCount64(sw.Basis[i])) {
+			t.Fatal("D diagonal wrong")
+		}
+	}
+}
+
+// TestAdiabaticMIS: a slow detuning sweep concentrates the wave
+// function on maximum independent sets; a fast (diabatic) sweep does
+// not — the adiabatic theorem, end to end through the distributed
+// stack.
+func TestAdiabaticMIS(t *testing.T) {
+	rt := newRT(t, 3)
+	run := func(T float64, steps int) float64 {
+		sw := NewSweep(rt, 6, 1.2, 6, 6, T)
+		defer sw.Destroy()
+		sw.Run(steps)
+		if nrm := sw.NormSquared(); math.Abs(nrm-1) > 1e-5 {
+			t.Fatalf("norm drifted to %v", nrm)
+		}
+		return sw.MISProbability()
+	}
+	slow := run(30, 1500)
+	fast := run(1.5, 100)
+	if slow < 0.7 {
+		t.Fatalf("slow sweep MIS probability = %v, want > 0.7", slow)
+	}
+	if fast >= slow {
+		t.Fatalf("fast sweep (%v) should underperform slow sweep (%v)", fast, slow)
+	}
+}
+
+// TestFinalGroundStateIsMISManifold: at the end of the schedule the
+// Hamiltonian's ground energy matches the MIS manifold's dominant
+// energy scale -Δ·|MIS| (up to the Rabi coupling's perturbation).
+func TestFinalGroundStateIsMISManifold(t *testing.T) {
+	rt := newRT(t, 1)
+	sw := NewSweep(rt, 6, 0.4, 6, 6, 10)
+	defer sw.Destroy()
+	e0 := sw.GroundEnergy()
+	want := -6.0 * float64(sw.MISSize())
+	// Small Ω perturbs the classical energy only slightly.
+	if math.Abs(e0-want) > 1.0 {
+		t.Fatalf("ground energy %v, want ≈ %v", e0, want)
+	}
+}

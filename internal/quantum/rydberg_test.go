@@ -1,0 +1,199 @@
+package quantum
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/solvers"
+)
+
+func newRT(t testing.TB, gpus int) *legion.Runtime {
+	t.Helper()
+	m := machine.Summit((gpus + 5) / 6)
+	rt := legion.NewRuntime(m, m.Select(machine.GPU, gpus))
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestBasisEnumerationFibonacci(t *testing.T) {
+	// Blockade-allowed states of n atoms number Fibonacci(n+2):
+	// 1 atom: 2 (0, 1); 2: 3; 3: 5; 4: 8; 5: 13 ...
+	want := []int64{2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	for n := 1; n <= 10; n++ {
+		basis := EnumerateBasis(n)
+		if int64(len(basis)) != want[n-1] {
+			t.Errorf("n=%d: %d states, want %d", n, len(basis), want[n-1])
+		}
+		if BasisSize(n) != want[n-1] {
+			t.Errorf("BasisSize(%d) = %d, want %d", n, BasisSize(n), want[n-1])
+		}
+		for _, s := range basis {
+			if s&(s>>1) != 0 {
+				t.Fatalf("n=%d: state %b violates blockade", n, s)
+			}
+		}
+	}
+}
+
+func TestHamiltonianSymmetricAndManifoldStructure(t *testing.T) {
+	rt := newRT(t, 2)
+	sys := NewSystem(rt, Chain{Atoms: 6, Omega: 1.5, Delta: 0.7})
+	defer sys.Destroy()
+	n := sys.Dim()
+	h := sys.DenseHamiltonian()
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			if math.Abs(h[i*n+j]-h[j*n+i]) > 1e-15 {
+				t.Fatalf("H not symmetric at (%d,%d)", i, j)
+			}
+			if i == j {
+				want := -0.7 * float64(bits.OnesCount64(sys.Basis[i]))
+				if math.Abs(h[i*n+j]-want) > 1e-15 {
+					t.Fatalf("diagonal %d = %v, want %v", i, h[i*n+j], want)
+				}
+				continue
+			}
+			if h[i*n+j] != 0 {
+				// Off-diagonal entries only connect adjacent excitation
+				// manifolds with single-flip structure.
+				diff := sys.Basis[i] ^ sys.Basis[j]
+				if bits.OnesCount64(diff) != 1 {
+					t.Fatalf("entry (%d,%d) connects states differing in %d bits",
+						i, j, bits.OnesCount64(diff))
+				}
+				if math.Abs(h[i*n+j]-0.75) > 1e-15 {
+					t.Fatalf("coupling = %v, want Ω/2 = 0.75", h[i*n+j])
+				}
+			}
+		}
+	}
+}
+
+// TestUnitarity: the RK8 evolution preserves the wave-function norm to
+// integrator accuracy.
+func TestUnitarity(t *testing.T) {
+	rt := newRT(t, 3)
+	sys := NewSystem(rt, Chain{Atoms: 8, Omega: 2, Delta: 1})
+	defer sys.Destroy()
+	rk := sys.NewIntegrator()
+	defer rk.Destroy()
+	sys.Evolve(rk, 0.02, 50)
+	if norm := sys.NormSquared(); math.Abs(norm-1) > 1e-10 {
+		t.Fatalf("norm² drifted to %v", norm)
+	}
+}
+
+// TestTwoAtomRabiOscillation: the evolved ground-state probability of a
+// two-atom resonant chain matches the analytic blockade-enhanced Rabi
+// oscillation cos²(Ωt/√2).
+func TestTwoAtomRabiOscillation(t *testing.T) {
+	rt := newRT(t, 1)
+	omega := 1.3
+	sys := NewSystem(rt, Chain{Atoms: 2, Omega: omega, Delta: 0})
+	defer sys.Destroy()
+	rk := sys.NewIntegrator()
+	defer rk.Destroy()
+	dt := 0.05
+	steps := 40
+	sys.Evolve(rk, dt, steps)
+	got := sys.GroundStateProbability()
+	want := TwoAtomExact(omega, dt*float64(steps))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P₀ = %v, want %v", got, want)
+	}
+}
+
+// TestMeanRydbergGrowsFromZero: starting in the all-ground state, the
+// drive must excite population.
+func TestMeanRydbergGrowsFromZero(t *testing.T) {
+	rt := newRT(t, 2)
+	sys := NewSystem(rt, Chain{Atoms: 7, Omega: 2, Delta: 0})
+	defer sys.Destroy()
+	if got := sys.MeanRydberg(); got != 0 {
+		t.Fatalf("initial ⟨n⟩ = %v, want 0", got)
+	}
+	rk := sys.NewIntegrator()
+	defer rk.Destroy()
+	sys.Evolve(rk, 0.05, 20)
+	if got := sys.MeanRydberg(); got <= 0.01 {
+		t.Fatalf("⟨n⟩ = %v after driving, want > 0.01", got)
+	}
+	// The blockade caps ⟨n⟩ at 1/2 for a chain.
+	if got := sys.MeanRydberg(); got > 0.5 {
+		t.Fatalf("⟨n⟩ = %v exceeds the blockade bound 0.5", got)
+	}
+}
+
+// TestPartitionIndependence: evolving on 1 and 6 processors produces
+// identical wave functions.
+func TestPartitionIndependence(t *testing.T) {
+	run := func(gpus int) []float64 {
+		rt := newRT(t, gpus)
+		sys := NewSystem(rt, Chain{Atoms: 9, Omega: 1, Delta: 0.5})
+		defer sys.Destroy()
+		rk := sys.NewIntegrator()
+		defer rk.Destroy()
+		sys.Evolve(rk, 0.03, 15)
+		return sys.Re.ToSlice()
+	}
+	a, b := run(1), run(6)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("wave functions differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEvolveStep(b *testing.B) {
+	m := machine.Summit(1)
+	rt := legion.NewRuntime(m, m.Select(machine.GPU, 6))
+	defer rt.Shutdown()
+	sys := NewSystem(rt, Chain{Atoms: 16, Omega: 2, Delta: 1})
+	defer sys.Destroy()
+	rk := solvers.NewRK(rt, solvers.CooperVerner8(), 2, sys.Dim())
+	defer rk.Destroy()
+	state := []*cunumeric.Array{sys.Re, sys.Im}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rk.Step(sys.RHS, 0, 0.01, state)
+	}
+	rt.Fence()
+}
+
+// TestBlockadeCorrelationInvariant: ⟨nᵢ nᵢ₊₁⟩ is exactly zero at all
+// times — the blockade expressed as an observable — while non-adjacent
+// correlations become positive under driving; site densities sum to
+// atoms * ⟨n⟩.
+func TestBlockadeCorrelationInvariant(t *testing.T) {
+	rt := newRT(t, 2)
+	sys := NewSystem(rt, Chain{Atoms: 8, Omega: 2, Delta: 0.5})
+	defer sys.Destroy()
+	rk := sys.NewIntegrator()
+	defer rk.Destroy()
+	sys.Evolve(rk, 0.05, 30)
+
+	for a := 0; a < 7; a++ {
+		if c := sys.Correlation(a, a+1); c != 0 {
+			t.Fatalf("adjacent correlation ⟨n%d n%d⟩ = %v, want exactly 0", a, a+1, c)
+		}
+	}
+	if c := sys.Correlation(0, 2); c <= 0 {
+		t.Errorf("next-nearest correlation should be positive, got %v", c)
+	}
+	dens := sys.SiteDensities()
+	var sum float64
+	for _, d := range dens {
+		if d < 0 || d > 1 {
+			t.Fatalf("site density out of range: %v", d)
+		}
+		sum += d
+	}
+	want := sys.MeanRydberg() * float64(sys.Chain.Atoms)
+	if math.Abs(sum-want) > 1e-10 {
+		t.Fatalf("Σ⟨nᵢ⟩ = %v, want %v", sum, want)
+	}
+}

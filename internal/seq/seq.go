@@ -1,0 +1,232 @@
+// Package seq provides sequential, host-only reference implementations
+// of every numerical operation in the system: the role SciPy plays in
+// the paper's single-node comparisons, and the oracle every distributed
+// operation is tested against. Matrices use SciPy's exact CSR layout
+// (indptr / indices / data) so the code reads like scipy.sparse
+// internals.
+package seq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a host-resident compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int64
+	Indptr     []int64
+	Indices    []int64
+	Data       []float64
+}
+
+// NewCSR wraps SciPy-style arrays without copying.
+func NewCSR(rows, cols int64, indptr, indices []int64, data []float64) *CSR {
+	if int64(len(indptr)) != rows+1 {
+		panic(fmt.Sprintf("seq: indptr length %d, want %d", len(indptr), rows+1))
+	}
+	return &CSR{Rows: rows, Cols: cols, Indptr: indptr, Indices: indices, Data: data}
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int64 { return int64(len(a.Data)) }
+
+// FromTriples builds a CSR from unsorted coordinate triples, summing
+// duplicates.
+func FromTriples(rows, cols int64, r, c []int64, v []float64) *CSR {
+	n := len(r)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if r[ia] != r[ib] {
+			return r[ia] < r[ib]
+		}
+		return c[ia] < c[ib]
+	})
+	indptr := make([]int64, rows+1)
+	var keptRows, indices []int64
+	var data []float64
+	for _, i := range idx {
+		m := len(indices)
+		if m > 0 && keptRows[m-1] == r[i] && indices[m-1] == c[i] {
+			data[m-1] += v[i]
+			continue
+		}
+		keptRows = append(keptRows, r[i])
+		indices = append(indices, c[i])
+		data = append(data, v[i])
+		indptr[r[i]+1]++
+	}
+	for i := int64(0); i < rows; i++ {
+		indptr[i+1] += indptr[i]
+	}
+	return NewCSR(rows, cols, indptr, indices, data)
+}
+
+// SpMV computes y = A @ x.
+func (a *CSR) SpMV(x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	a.SpMVInto(y, x)
+	return y
+}
+
+// SpMVInto computes y = A @ x into y.
+func (a *CSR) SpMVInto(y, x []float64) {
+	for i := int64(0); i < a.Rows; i++ {
+		var acc float64
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			acc += a.Data[k] * x[a.Indices[k]]
+		}
+		y[i] = acc
+	}
+}
+
+// SpMM computes Y = A @ X for row-major X with the given column count.
+func (a *CSR) SpMM(x []float64, cols int64) []float64 {
+	y := make([]float64, a.Rows*cols)
+	for i := int64(0); i < a.Rows; i++ {
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			v := a.Data[k]
+			j := a.Indices[k]
+			for q := int64(0); q < cols; q++ {
+				y[i*cols+q] += v * x[j*cols+q]
+			}
+		}
+	}
+	return y
+}
+
+// SDDMM computes R = A ⊙ (B @ Cᵀ) with row-major B (rows x k) and
+// C (cols x k); the result shares A's pattern.
+func (a *CSR) SDDMM(b, c []float64, k int64) *CSR {
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, Indptr: a.Indptr, Indices: a.Indices,
+		Data: make([]float64, len(a.Data))}
+	for i := int64(0); i < a.Rows; i++ {
+		for p := a.Indptr[i]; p < a.Indptr[i+1]; p++ {
+			j := a.Indices[p]
+			var dot float64
+			for q := int64(0); q < k; q++ {
+				dot += b[i*k+q] * c[j*k+q]
+			}
+			out.Data[p] = a.Data[p] * dot
+		}
+	}
+	return out
+}
+
+// Transpose returns Aᵀ.
+func (a *CSR) Transpose() *CSR {
+	var r, c []int64
+	var v []float64
+	for i := int64(0); i < a.Rows; i++ {
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			r = append(r, a.Indices[k])
+			c = append(c, i)
+			v = append(v, a.Data[k])
+		}
+	}
+	return FromTriples(a.Cols, a.Rows, r, c, v)
+}
+
+// Diagonal returns the main diagonal.
+func (a *CSR) Diagonal() []float64 {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	d := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			if a.Indices[k] == i {
+				d[i] += a.Data[k]
+			}
+		}
+	}
+	return d
+}
+
+// RowSums returns per-row sums.
+func (a *CSR) RowSums() []float64 {
+	out := make([]float64, a.Rows)
+	for i := int64(0); i < a.Rows; i++ {
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			out[i] += a.Data[k]
+		}
+	}
+	return out
+}
+
+// ColSums returns per-column sums.
+func (a *CSR) ColSums() []float64 {
+	out := make([]float64, a.Cols)
+	for i := int64(0); i < a.Rows; i++ {
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			out[a.Indices[k]] += a.Data[k]
+		}
+	}
+	return out
+}
+
+// ToDense materializes the matrix row-major.
+func (a *CSR) ToDense() []float64 {
+	out := make([]float64, a.Rows*a.Cols)
+	for i := int64(0); i < a.Rows; i++ {
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			out[i*a.Cols+a.Indices[k]] += a.Data[k]
+		}
+	}
+	return out
+}
+
+// Dot returns x · y.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm.
+func Norm(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// AXPY computes y += a*x.
+func AXPY(a float64, x, y []float64) {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// CG runs the conjugate-gradient method on SPD A, returning the
+// solution estimate and per-iteration residual norms.
+func (a *CSR) CG(b []float64, maxIter int, tol float64) ([]float64, []float64) {
+	n := a.Rows
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b)
+	p := make([]float64, n)
+	copy(p, b)
+	rs := Dot(r, r)
+	var hist []float64
+	ap := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		a.SpMVInto(ap, p)
+		alpha := rs / Dot(p, ap)
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		hist = append(hist, math.Sqrt(rsNew))
+		if math.Sqrt(rsNew) < tol {
+			break
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x, hist
+}

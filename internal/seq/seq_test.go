@@ -1,0 +1,196 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDense(rng *rand.Rand, rows, cols int64, density float64) []float64 {
+	d := make([]float64, rows*cols)
+	for i := range d {
+		if rng.Float64() < density {
+			d[i] = rng.NormFloat64()
+		}
+	}
+	return d
+}
+
+func fromDense(rows, cols int64, d []float64) *CSR {
+	var r, c []int64
+	var v []float64
+	for i := int64(0); i < rows; i++ {
+		for j := int64(0); j < cols; j++ {
+			if x := d[i*cols+j]; x != 0 {
+				r, c, v = append(r, i), append(c, j), append(v, x)
+			}
+		}
+	}
+	return FromTriples(rows, cols, r, c, v)
+}
+
+func TestFromTriplesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := int64(1+rng.Intn(20)), int64(1+rng.Intn(20))
+		d := randomDense(rng, rows, cols, 0.3)
+		a := fromDense(rows, cols, d)
+		back := a.ToDense()
+		for i := range d {
+			if d[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromTriplesSumsDuplicates(t *testing.T) {
+	a := FromTriples(2, 2, []int64{0, 0, 1}, []int64{1, 1, 0}, []float64{2, 3, 4})
+	if a.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 after dedup", a.NNZ())
+	}
+	d := a.ToDense()
+	if d[1] != 5 || d[2] != 4 {
+		t.Fatalf("dense = %v", d)
+	}
+}
+
+func TestSpMVAndSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows, cols := int64(15), int64(11)
+	dd := randomDense(rng, rows, cols, 0.4)
+	a := fromDense(rows, cols, dd)
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := a.SpMV(x)
+	for i := int64(0); i < rows; i++ {
+		var want float64
+		for j := int64(0); j < cols; j++ {
+			want += dd[i*cols+j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-10 {
+			t.Fatalf("SpMV row %d", i)
+		}
+	}
+	kk := int64(4)
+	xm := randomDense(rng, cols, kk, 1)
+	ym := a.SpMM(xm, kk)
+	for i := int64(0); i < rows; i++ {
+		for q := int64(0); q < kk; q++ {
+			var want float64
+			for j := int64(0); j < cols; j++ {
+				want += dd[i*cols+j] * xm[j*kk+q]
+			}
+			if math.Abs(ym[i*kk+q]-want) > 1e-10 {
+				t.Fatalf("SpMM (%d,%d)", i, q)
+			}
+		}
+	}
+}
+
+func TestTransposeDiagonalSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dd := randomDense(rng, 9, 9, 0.4)
+	a := fromDense(9, 9, dd)
+	at := a.Transpose()
+	atd := at.ToDense()
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if dd[i*9+j] != atd[j*9+i] {
+				t.Fatalf("transpose (%d,%d)", i, j)
+			}
+		}
+	}
+	diag := a.Diagonal()
+	rows := a.RowSums()
+	colsums := a.ColSums()
+	for i := int64(0); i < 9; i++ {
+		if diag[i] != dd[i*9+i] {
+			t.Fatalf("diag %d", i)
+		}
+		var rw, cw float64
+		for j := int64(0); j < 9; j++ {
+			rw += dd[i*9+j]
+			cw += dd[j*9+i]
+		}
+		if math.Abs(rows[i]-rw) > 1e-12 || math.Abs(colsums[i]-cw) > 1e-12 {
+			t.Fatalf("sums %d", i)
+		}
+	}
+}
+
+func TestSDDMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dd := randomDense(rng, 8, 6, 0.5)
+	a := fromDense(8, 6, dd)
+	k := int64(3)
+	b := randomDense(rng, 8, k, 1)
+	c := randomDense(rng, 6, k, 1)
+	r := a.SDDMM(b, c, k)
+	rd := r.ToDense()
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 6; j++ {
+			var dot float64
+			for q := int64(0); q < k; q++ {
+				dot += b[i*k+q] * c[j*k+q]
+			}
+			want := dd[i*6+j] * dot
+			if math.Abs(rd[i*6+j]-want) > 1e-10 {
+				t.Fatalf("SDDMM (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatal("dot")
+	}
+	if math.Abs(Norm(x)-math.Sqrt(14)) > 1e-12 {
+		t.Fatal("norm")
+	}
+	AXPY(2, x, y)
+	if y[2] != 12 {
+		t.Fatal("axpy")
+	}
+}
+
+func TestCGReference(t *testing.T) {
+	// SPD tridiagonal system.
+	n := int64(40)
+	var r, c []int64
+	var v []float64
+	for i := int64(0); i < n; i++ {
+		r, c, v = append(r, i), append(c, i), append(v, 2.5)
+		if i > 0 {
+			r, c, v = append(r, i), append(c, i-1), append(v, -1)
+		}
+		if i < n-1 {
+			r, c, v = append(r, i), append(c, i+1), append(v, -1)
+		}
+	}
+	a := FromTriples(n, n, r, c, v)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x, hist := a.CG(b, 500, 1e-10)
+	if len(hist) == 0 || hist[len(hist)-1] > 1e-10 {
+		t.Fatalf("CG residual history: %v", hist[len(hist)-1])
+	}
+	ax := a.SpMV(x)
+	for i := range ax {
+		if math.Abs(ax[i]-1) > 1e-8 {
+			t.Fatalf("solution wrong at %d: %v", i, ax[i])
+		}
+	}
+}

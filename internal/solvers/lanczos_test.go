@@ -1,0 +1,82 @@
+package solvers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTridiagEigenvalues(t *testing.T) {
+	// 2x2 [[2,1],[1,2]] has eigenvalues 1 and 3.
+	eigs := tridiagEigenvalues([]float64{2, 2}, []float64{1})
+	if math.Abs(eigs[0]-1) > 1e-8 || math.Abs(eigs[1]-3) > 1e-8 {
+		t.Fatalf("eigs = %v, want [1 3]", eigs)
+	}
+	// Uncoupled diagonal.
+	eigs = tridiagEigenvalues([]float64{5, -2, 7}, []float64{0, 0})
+	want := []float64{-2, 5, 7}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-8 {
+			t.Fatalf("eigs = %v, want %v", eigs, want)
+		}
+	}
+}
+
+// TestLanczosDiagonalMatrix: eigenvalues of a diagonal matrix are known
+// exactly; Lanczos must find the extremes.
+func TestLanczosDiagonalMatrix(t *testing.T) {
+	rt := newRT(t, 3)
+	n := int64(60)
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = float64(i + 1) // eigenvalues 1..60
+	}
+	a := core.Diags(rt, n, n, [][]float64{d}, []int64{0})
+	if got := LargestEigenvalue(a, 50, 3); math.Abs(got-60) > 1e-6 {
+		t.Fatalf("largest = %v, want 60", got)
+	}
+	eigs := Lanczos(a, 2, 50, 3)
+	// Extremes: smallest ≈ 1, largest ≈ 60.
+	if math.Abs(eigs[len(eigs)-1]-60) > 1e-6 {
+		t.Fatalf("top eigenvalue = %v, want 60", eigs[len(eigs)-1])
+	}
+	if math.Abs(eigs[0]-1) > 1e-4 {
+		t.Fatalf("bottom eigenvalue = %v, want 1", eigs[0])
+	}
+}
+
+// TestLanczosAgreesWithPowerIteration on a random symmetric matrix.
+func TestLanczosAgreesWithPowerIteration(t *testing.T) {
+	rt := newRT(t, 2)
+	n := int64(50)
+	r := core.Random(rt, n, n, 0.1, 11)
+	sym := core.Add(r, r.Transpose(), 0.5, 0.5)
+	a := core.Add(sym, core.Eye(rt, n), 1, float64(n)) // PSD shift
+	lam, vec := PowerIteration(a, 400, 5)
+	vec.Destroy()
+	got := LargestEigenvalue(a, 40, 7)
+	if math.Abs(got-lam) > 1e-6*lam {
+		t.Fatalf("Lanczos %v vs power iteration %v", got, lam)
+	}
+}
+
+// TestLanczosPoissonSpectrum: the 2-D Poisson operator's extreme
+// eigenvalues are known analytically: 4(sin²(π/(2(n+1))) + ...) —
+// smallest ≈ 2λ_min,1D, largest ≈ 8 for large grids.
+func TestLanczosPoissonSpectrum(t *testing.T) {
+	rt := newRT(t, 2)
+	nx := int64(12)
+	a := core.Poisson2D(rt, nx)
+	eigs := Lanczos(a, 2, 80, 9)
+	s := math.Sin(math.Pi / (2 * float64(nx+1)))
+	minWant := 8 * s * s
+	c := math.Sin(float64(nx) * math.Pi / (2 * float64(nx+1)))
+	maxWant := 8 * c * c
+	if math.Abs(eigs[0]-minWant) > 1e-6 {
+		t.Errorf("λ_min = %v, want %v", eigs[0], minWant)
+	}
+	if math.Abs(eigs[len(eigs)-1]-maxWant) > 1e-6 {
+		t.Errorf("λ_max = %v, want %v", eigs[len(eigs)-1], maxWant)
+	}
+}

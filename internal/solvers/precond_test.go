@@ -1,0 +1,93 @@
+package solvers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+)
+
+func TestPCGJacobiConvergesFasterOnScaledSystem(t *testing.T) {
+	rt := newRT(t, 3)
+	// A badly diagonally-scaled SPD system: D^(1/2) L D^(1/2) where L is
+	// the Poisson operator and D spans several orders of magnitude —
+	// the case where Jacobi preconditioning pays off.
+	nx := int64(12)
+	n := nx * nx
+	l := core.Poisson2D(rt, nx)
+	dvals := make([]float64, n)
+	for i := range dvals {
+		dvals[i] = math.Pow(10, float64(i%5)) // 1 .. 10^4
+	}
+	d := core.Diags(rt, n, n, [][]float64{dvals}, []int64{0})
+	ld := core.SpGEMM(l, d)
+	a := core.SpGEMM(d, ld)
+	// Symmetrize against round-off.
+	at := a.Transpose()
+	a = core.Add(a, at, 0.5, 0.5)
+
+	b := cunumeric.Full(rt, n, 1)
+	plain := CG(a, b, 3000, 1e-6)
+	pcg := PCGJacobi(a, b, 3000, 1e-6)
+	if !pcg.Converged {
+		t.Fatalf("PCG-Jacobi did not converge (%d iters)", pcg.Iterations)
+	}
+	if rn := residualNorm(a, pcg.X, b); rn > 1e-5 {
+		t.Fatalf("PCG-Jacobi residual %v", rn)
+	}
+	if plain.Converged && pcg.Iterations >= plain.Iterations {
+		t.Errorf("Jacobi preconditioning should help a badly scaled system: %d vs %d iters",
+			pcg.Iterations, plain.Iterations)
+	}
+}
+
+// TestRKF45AccuracyAndAdaptivity: the adaptive integrator hits the
+// requested tolerance on y' = -y and takes larger steps when the
+// tolerance is loose.
+func TestRKF45AccuracyAndAdaptivity(t *testing.T) {
+	rt := newRT(t, 2)
+	decay := func(tt float64, y, out []*cunumeric.Array) {
+		cunumeric.Copy(out[0], y[0])
+		out[0].Scale(-1)
+	}
+	solve := func(rtol float64) (float64, int) {
+		y := []*cunumeric.Array{cunumeric.Full(rt, 8, 1)}
+		defer y[0].Destroy()
+		tEnd, steps := RKF45(rt, decay, 0, 2.0, y, rtol, 0.1)
+		if math.Abs(tEnd-2.0) > 1e-12 {
+			t.Fatalf("integrator stopped at t=%v", tEnd)
+		}
+		got := y[0].ToSlice()[0]
+		return math.Abs(got - math.Exp(-2)), steps
+	}
+	errTight, stepsTight := solve(1e-10)
+	errLoose, stepsLoose := solve(1e-4)
+	if errTight > 1e-8 {
+		t.Errorf("tight-tolerance error %v too large", errTight)
+	}
+	if stepsLoose >= stepsTight {
+		t.Errorf("loose tolerance should take fewer steps: %d vs %d", stepsLoose, stepsTight)
+	}
+	if errLoose < errTight {
+		t.Logf("note: loose run happened to be more accurate (%v vs %v)", errLoose, errTight)
+	}
+}
+
+// TestRKF45MatchesRK8OnRotation: the adaptive and fixed-step
+// integrators agree on the two-component rotation system.
+func TestRKF45MatchesRK8OnRotation(t *testing.T) {
+	rt := newRT(t, 2)
+	rot := func(tt float64, y, out []*cunumeric.Array) {
+		cunumeric.Copy(out[0], y[1])
+		out[0].Scale(-1)
+		cunumeric.Copy(out[1], y[0])
+	}
+	re := cunumeric.Full(rt, 4, 1)
+	im := cunumeric.Zeros(rt, 4)
+	RKF45(rt, rot, 0, 1.0, []*cunumeric.Array{re, im}, 1e-10, 0.05)
+	res, ims := re.ToSlice(), im.ToSlice()
+	if math.Abs(res[0]-math.Cos(1)) > 1e-7 || math.Abs(ims[0]-math.Sin(1)) > 1e-7 {
+		t.Fatalf("rotation = (%v, %v), want (%v, %v)", res[0], ims[0], math.Cos(1), math.Sin(1))
+	}
+}

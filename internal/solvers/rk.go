@@ -1,0 +1,141 @@
+package solvers
+
+import (
+	"math"
+
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+)
+
+// Tableau is an explicit Runge-Kutta Butcher tableau.
+type Tableau struct {
+	Name  string
+	Order int
+	A     [][]float64 // strictly lower-triangular stage coefficients
+	B     []float64   // output weights
+	C     []float64   // stage abscissae
+}
+
+// Stages returns the number of stages.
+func (t Tableau) Stages() int { return len(t.B) }
+
+// RK4 is the classical 4th-order method.
+func RK4() Tableau {
+	return Tableau{
+		Name:  "rk4",
+		Order: 4,
+		A: [][]float64{
+			{},
+			{0.5},
+			{0, 0.5},
+			{0, 0, 1},
+		},
+		B: []float64{1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6},
+		C: []float64{0, 0.5, 0.5, 1},
+	}
+}
+
+// CooperVerner8 is the 11-stage 8th-order method of Cooper & Verner
+// (1972) — the "8th-order Runge-Kutta integration" at the core of the
+// paper's quantum simulation benchmark (§6.1).
+func CooperVerner8() Tableau {
+	s := math.Sqrt(21)
+	return Tableau{
+		Name:  "cooper-verner-8",
+		Order: 8,
+		A: [][]float64{
+			{},
+			{1.0 / 2},
+			{1.0 / 4, 1.0 / 4},
+			{1.0 / 7, (-7 - 3*s) / 98, (21 + 5*s) / 49},
+			{(11 + s) / 84, 0, (18 + 4*s) / 63, (21 - s) / 252},
+			{(5 + s) / 48, 0, (9 + s) / 36, (-231 + 14*s) / 360, (63 - 7*s) / 80},
+			{(10 - s) / 42, 0, (-432 + 92*s) / 315, (633 - 145*s) / 90, (-504 + 115*s) / 70, (63 - 13*s) / 35},
+			{1.0 / 14, 0, 0, 0, (14 - 3*s) / 126, (13 - 3*s) / 63, 1.0 / 9},
+			{1.0 / 32, 0, 0, 0, (91 - 21*s) / 576, 11.0 / 72, (-385 - 75*s) / 1152, (63 + 13*s) / 128},
+			{1.0 / 14, 0, 0, 0, 1.0 / 9, (-733 - 147*s) / 2205, (515 + 111*s) / 504, (-51 - 11*s) / 56, (132 + 28*s) / 245},
+			{0, 0, 0, 0, (-42 + 7*s) / 18, (-18 + 28*s) / 45, (-273 - 53*s) / 72, (301 + 53*s) / 72, (28 - 28*s) / 45, (49 - 7*s) / 18},
+		},
+		B: []float64{1.0 / 20, 0, 0, 0, 0, 0, 0, 49.0 / 180, 16.0 / 45, 49.0 / 180, 1.0 / 20},
+		C: []float64{0, 1.0 / 2, 1.0 / 2, (7 + s) / 14, (7 + s) / 14, 1.0 / 2, (7 - s) / 14, (7 - s) / 14, 1.0 / 2, (7 + s) / 14, 1},
+	}
+}
+
+// RHS evaluates out = f(t, y) for a state split into components (the
+// quantum workload uses two components, the real and imaginary parts of
+// the wave function).
+type RHS func(t float64, y, out []*cunumeric.Array)
+
+// RK integrates a multi-component ODE with a fixed-step explicit method,
+// reusing all stage buffers across steps so the runtime reaches its
+// partitioning steady state.
+type RK struct {
+	tab Tableau
+	k   [][]*cunumeric.Array // [stage][component]
+	tmp []*cunumeric.Array   // [component]
+	n   int64
+}
+
+// NewRK allocates an integrator for nc state components of length n.
+func NewRK(rt *legion.Runtime, tab Tableau, nc int, n int64) *RK {
+	rk := &RK{tab: tab, n: n}
+	rk.k = make([][]*cunumeric.Array, tab.Stages())
+	for i := range rk.k {
+		rk.k[i] = make([]*cunumeric.Array, nc)
+		for c := range rk.k[i] {
+			rk.k[i][c] = cunumeric.Zeros(rt, n)
+		}
+	}
+	rk.tmp = make([]*cunumeric.Array, nc)
+	for c := range rk.tmp {
+		rk.tmp[c] = cunumeric.Zeros(rt, n)
+	}
+	return rk
+}
+
+// Destroy releases all stage buffers.
+func (rk *RK) Destroy() {
+	for _, stage := range rk.k {
+		for _, a := range stage {
+			a.Destroy()
+		}
+	}
+	for _, a := range rk.tmp {
+		a.Destroy()
+	}
+}
+
+// Step advances y in place from t to t+h.
+func (rk *RK) Step(f RHS, t, h float64, y []*cunumeric.Array) {
+	tab := rk.tab
+	for i := 0; i < tab.Stages(); i++ {
+		for c := range y {
+			cunumeric.Copy(rk.tmp[c], y[c])
+			for j, aij := range tab.A[i] {
+				if aij != 0 {
+					cunumeric.AXPY(h*aij, rk.k[j][c], rk.tmp[c])
+				}
+			}
+		}
+		f(t+tab.C[i]*h, rk.tmp, rk.k[i])
+	}
+	for i, bi := range tab.B {
+		if bi == 0 {
+			continue
+		}
+		for c := range y {
+			cunumeric.AXPY(h*bi, rk.k[i][c], y[c])
+		}
+	}
+}
+
+// Integrate advances y from t0 over steps fixed steps of size h,
+// returning the final time.
+func (rk *RK) Integrate(f RHS, t0, h float64, steps int, y []*cunumeric.Array) float64 {
+	t := t0
+	for s := 0; s < steps; s++ {
+		rk.Step(f, t, h, y)
+		t += h
+	}
+	return t
+}

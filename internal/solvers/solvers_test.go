@@ -1,0 +1,339 @@
+package solvers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/seq"
+)
+
+func newRT(t testing.TB, gpus int) *legion.Runtime {
+	t.Helper()
+	m := machine.Summit((gpus + 5) / 6)
+	rt := legion.NewRuntime(m, m.Select(machine.GPU, gpus))
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func onesB(rt *legion.Runtime, n int64) *cunumeric.Array {
+	return cunumeric.Full(rt, n, 1)
+}
+
+// residualNorm computes ||b - A x|| on the host.
+func residualNorm(a *core.CSR, x, b *cunumeric.Array) float64 {
+	ax := a.SpMV(x)
+	cunumeric.AXPBY(1, b, -1, ax)
+	n := cunumeric.Norm(ax)
+	ax.Destroy()
+	return n
+}
+
+func TestCGSolvesPoisson(t *testing.T) {
+	rt := newRT(t, 4)
+	nx := int64(16)
+	a := core.Poisson2D(rt, nx)
+	b := onesB(rt, nx*nx)
+	res := CG(a, b, 500, 1e-8)
+	if !res.Converged {
+		t.Fatalf("CG did not converge in %d iterations (last residual %v)",
+			res.Iterations, res.Residuals[len(res.Residuals)-1])
+	}
+	if rn := residualNorm(a, res.X, b); rn > 1e-7 {
+		t.Fatalf("true residual %v", rn)
+	}
+}
+
+// TestCGMatchesSequentialOracle: distributed CG reproduces the
+// sequential reference solver iteration for iteration.
+func TestCGMatchesSequentialOracle(t *testing.T) {
+	rt := newRT(t, 3)
+	nx := int64(10)
+	a := core.Poisson2D(rt, nx)
+	n := nx * nx
+	b := onesB(rt, n)
+	res := CG(a, b, 40, 0) // run exactly 40 iterations
+
+	// Build the same matrix sequentially.
+	rt.Fence()
+	indptr := make([]int64, n+1)
+	for i := int64(0); i < n; i++ {
+		indptr[i+1] = a.Pos().Rects()[i].Hi + 1
+	}
+	ref := seq.NewCSR(n, n, indptr, a.Crd().Int64s(), a.Vals().Float64s())
+	bs := make([]float64, n)
+	for i := range bs {
+		bs[i] = 1
+	}
+	_, hist := ref.CG(bs, 40, 0)
+	if len(hist) != len(res.Residuals) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(res.Residuals), len(hist))
+	}
+	for i := range hist {
+		if math.Abs(hist[i]-res.Residuals[i]) > 1e-8*(1+hist[i]) {
+			t.Fatalf("residual %d differs: %v vs %v", i, res.Residuals[i], hist[i])
+		}
+	}
+}
+
+// TestCGResidualDecreases: on an SPD system the energy-norm error is
+// monotone; the residual should trend strongly downward.
+func TestCGResidualDecreases(t *testing.T) {
+	rt := newRT(t, 2)
+	a := core.Poisson2D(rt, 12)
+	b := onesB(rt, 144)
+	res := CG(a, b, 100, 1e-10)
+	first, last := res.Residuals[0], res.Residuals[len(res.Residuals)-1]
+	if last >= first/1e4 {
+		t.Fatalf("residual barely decreased: %v -> %v", first, last)
+	}
+}
+
+func TestKrylovVariantsSolveSPD(t *testing.T) {
+	rt := newRT(t, 3)
+	a := core.Poisson2D(rt, 8)
+	b := onesB(rt, 64)
+	type solver struct {
+		name string
+		run  func() *Result
+	}
+	for _, s := range []solver{
+		{"CGS", func() *Result { return CGS(a, b, 300, 1e-8) }},
+		{"BiCG", func() *Result { return BiCG(a, b, 300, 1e-8) }},
+		{"BiCGSTAB", func() *Result { return BiCGSTAB(a, b, 300, 1e-8) }},
+		{"GMRES", func() *Result { return GMRES(a, b, 20, 300, 1e-8) }},
+	} {
+		res := s.run()
+		if rn := residualNorm(a, res.X, b); rn > 1e-6 {
+			t.Errorf("%s: residual %v (converged=%v after %d iters)", s.name, rn, res.Converged, res.Iterations)
+		}
+		res.X.Destroy()
+	}
+}
+
+// TestGMRESNonsymmetric: GMRES and BiCGSTAB handle a nonsymmetric
+// system that plain CG cannot.
+func TestGMRESNonsymmetric(t *testing.T) {
+	rt := newRT(t, 2)
+	// Upwind convection-diffusion: nonsymmetric tridiagonal.
+	n := int64(50)
+	diag := make([]float64, n)
+	lower := make([]float64, n-1)
+	upper := make([]float64, n-1)
+	for i := range diag {
+		diag[i] = 3
+	}
+	for i := range lower {
+		lower[i] = -1.8
+		upper[i] = -0.2
+	}
+	a := core.Diags(rt, n, n, [][]float64{lower, diag, upper}, []int64{-1, 0, 1})
+	b := onesB(rt, n)
+	res := GMRES(a, b, 25, 500, 1e-9)
+	if rn := residualNorm(a, res.X, b); rn > 1e-7 {
+		t.Fatalf("GMRES residual %v", rn)
+	}
+	res2 := BiCGSTAB(a, b, 500, 1e-9)
+	if rn := residualNorm(a, res2.X, b); rn > 1e-7 {
+		t.Fatalf("BiCGSTAB residual %v", rn)
+	}
+}
+
+func TestWeightedJacobiSmooths(t *testing.T) {
+	rt := newRT(t, 2)
+	a := core.Poisson2D(rt, 8)
+	b := onesB(rt, 64)
+	x := cunumeric.Zeros(rt, 64)
+	dinv := a.Diagonal()
+	one := cunumeric.Full(rt, 64, 1)
+	cunumeric.DivInto(dinv, one, dinv)
+	before := residualNorm(a, x, b)
+	WeightedJacobi(a, x, b, dinv, 2.0/3.0, 25)
+	after := residualNorm(a, x, b)
+	if after >= before/2 {
+		t.Fatalf("Jacobi barely smoothed: %v -> %v", before, after)
+	}
+}
+
+func TestMultigridPCGBeatsPlainCG(t *testing.T) {
+	rt := newRT(t, 3)
+	nx := int64(32)
+	a := core.Poisson2D(rt, nx)
+	b := onesB(rt, nx*nx)
+
+	mg := NewMultigrid(a, nx)
+	defer mg.Destroy()
+	pcg := mg.PCG(b, 200, 1e-8)
+	if !pcg.Converged {
+		t.Fatalf("MG-PCG did not converge in %d iterations", pcg.Iterations)
+	}
+	if rn := residualNorm(a, pcg.X, b); rn > 1e-7 {
+		t.Fatalf("MG-PCG true residual %v", rn)
+	}
+
+	plain := CG(a, b, 200, 1e-8)
+	if plain.Converged && pcg.Iterations >= plain.Iterations {
+		t.Errorf("MG preconditioning should reduce iterations: %d vs %d",
+			pcg.Iterations, plain.Iterations)
+	}
+}
+
+func TestInjectionShape(t *testing.T) {
+	rt := newRT(t, 2)
+	nx := int64(8)
+	a := core.Poisson2D(rt, nx)
+	r := Injection(a, nx)
+	if r.Rows() != 16 || r.Cols() != 64 {
+		t.Fatalf("injection shape = %dx%d", r.Rows(), r.Cols())
+	}
+	if r.NNZ() != 16 {
+		t.Fatalf("injection nnz = %d", r.NNZ())
+	}
+	// R Rᵀ = I for injection.
+	rrt := core.SpGEMM(r, r.Transpose())
+	d := rrt.ToDense()
+	for i := int64(0); i < 16; i++ {
+		for j := int64(0); j < 16; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d[i*16+j] != want {
+				t.Fatalf("RRᵀ[%d,%d] = %v", i, j, d[i*16+j])
+			}
+		}
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	rt := newRT(t, 2)
+	// Diagonal matrix with known dominant eigenvalue 9.
+	n := int64(20)
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = float64(i%9) + 1
+	}
+	a := core.Diags(rt, n, n, [][]float64{d}, []int64{0})
+	lambda, vec := PowerIteration(a, 300, 5)
+	if math.Abs(lambda-9) > 1e-6 {
+		t.Fatalf("dominant eigenvalue = %v, want 9", lambda)
+	}
+	vec.Destroy()
+}
+
+// TestTableauConsistency: every stage's row sum equals its abscissa and
+// the weights sum to 1 — necessary conditions for the claimed order.
+func TestTableauConsistency(t *testing.T) {
+	for _, tab := range []Tableau{RK4(), CooperVerner8()} {
+		var bsum float64
+		for _, b := range tab.B {
+			bsum += b
+		}
+		if math.Abs(bsum-1) > 1e-12 {
+			t.Errorf("%s: sum(B) = %v", tab.Name, bsum)
+		}
+		for i := range tab.A {
+			var rs float64
+			for _, a := range tab.A[i] {
+				rs += a
+			}
+			if math.Abs(rs-tab.C[i]) > 1e-12 {
+				t.Errorf("%s: stage %d row sum %v != c %v", tab.Name, i, rs, tab.C[i])
+			}
+		}
+	}
+}
+
+// TestRKOrder verifies the empirical convergence order on y' = -y by
+// halving the step and measuring the error ratio: ~2^4 for RK4 and
+// ≥ 2^7.5 for the 8th-order method.
+func TestRKOrder(t *testing.T) {
+	rt := newRT(t, 1)
+	solveErr := func(tab Tableau, h float64, steps int) float64 {
+		y := []*cunumeric.Array{cunumeric.Full(rt, 4, 1)}
+		rk := NewRK(rt, tab, 1, 4)
+		f := func(tt float64, yy, out []*cunumeric.Array) {
+			cunumeric.Copy(out[0], yy[0])
+			out[0].Scale(-1)
+		}
+		rk.Integrate(f, 0, h, steps, y)
+		got := y[0].ToSlice()[0]
+		want := math.Exp(-h * float64(steps))
+		rk.Destroy()
+		y[0].Destroy()
+		return math.Abs(got - want)
+	}
+	// RK4: error ratio ≈ 16 when halving h.
+	e1 := solveErr(RK4(), 0.2, 10)
+	e2 := solveErr(RK4(), 0.1, 20)
+	if ratio := e1 / e2; ratio < 12 || ratio > 20 {
+		t.Errorf("RK4 halving ratio = %v, want ~16", ratio)
+	}
+	// CV8: with larger steps to stay above round-off.
+	e1 = solveErr(CooperVerner8(), 0.8, 5)
+	e2 = solveErr(CooperVerner8(), 0.4, 10)
+	if ratio := e1 / e2; ratio < 150 {
+		t.Errorf("CV8 halving ratio = %v, want ≳ 256 (order 8)", ratio)
+	}
+}
+
+// TestRKMultiComponent integrates the rotation system (x' = -y, y' = x),
+// the same real/imaginary coupling the quantum workload uses, and
+// checks norm preservation and the analytic solution.
+func TestRKMultiComponent(t *testing.T) {
+	rt := newRT(t, 2)
+	n := int64(8)
+	re := cunumeric.Full(rt, n, 1)
+	im := cunumeric.Zeros(rt, n)
+	rk := NewRK(rt, CooperVerner8(), 2, n)
+	defer rk.Destroy()
+	f := func(tt float64, y, out []*cunumeric.Array) {
+		// d(re)/dt = -im, d(im)/dt = re
+		cunumeric.Copy(out[0], y[1])
+		out[0].Scale(-1)
+		cunumeric.Copy(out[1], y[0])
+	}
+	T := 1.5
+	steps := 30
+	rk.Integrate(f, 0, T/float64(steps), steps, []*cunumeric.Array{re, im})
+	res, ims := re.ToSlice(), im.ToSlice()
+	for i := range res {
+		if math.Abs(res[i]-math.Cos(T)) > 1e-10 || math.Abs(ims[i]-math.Sin(T)) > 1e-10 {
+			t.Fatalf("rotation wrong at %d: (%v, %v) want (%v, %v)",
+				i, res[i], ims[i], math.Cos(T), math.Sin(T))
+		}
+		norm := res[i]*res[i] + ims[i]*ims[i]
+		if math.Abs(norm-1) > 1e-10 {
+			t.Fatalf("norm not preserved: %v", norm)
+		}
+	}
+}
+
+// TestMultilevelMG: a 3-level hierarchy converges in a similar iteration
+// count to the two-level solver and far fewer than plain CG.
+func TestMultilevelMG(t *testing.T) {
+	rt := newRT(t, 2)
+	nx := int64(32)
+	a := core.Poisson2D(rt, nx)
+	b := onesB(rt, nx*nx)
+	ml := NewMultilevelMG(a, nx, 3)
+	defer ml.Destroy()
+	if ml.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", ml.Depth())
+	}
+	res := ml.PCG(b, 200, 1e-8)
+	if !res.Converged {
+		t.Fatalf("multilevel PCG did not converge in %d iters", res.Iterations)
+	}
+	if rn := residualNorm(a, res.X, b); rn > 1e-7 {
+		t.Fatalf("true residual %v", rn)
+	}
+	plain := CG(a, b, 500, 1e-8)
+	if res.Iterations >= plain.Iterations {
+		t.Errorf("multilevel preconditioning should cut iterations: %d vs %d",
+			res.Iterations, plain.Iterations)
+	}
+}
