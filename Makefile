@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-fusion
+
+# check is the full pre-merge gate: static analysis, build, the race-
+# enabled test suite, and one pass over the fusion wall-clock benchmarks
+# (compile + run, not a timing study — use `go test -bench` directly
+# with a real -benchtime for numbers).
+check: vet build race bench-fusion
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-fusion:
+	$(GO) test -run=NONE -bench=BenchmarkFusion -benchtime=1x ./...

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/legion"
 )
 
 func main() {
@@ -28,7 +29,12 @@ func main() {
 	iters := flag.Int("iters", 0, "override timed iterations per run")
 	runs := flag.Int("runs", 0, "override repetitions per configuration")
 	mfscale := flag.Int64("mfscale", 0, "override MovieLens dataset scale divisor")
+	fusion := flag.Bool("fusion", true, "enable the runtime's task-fusion window")
 	flag.Parse()
+
+	if !*fusion {
+		legion.SetDefaultFusionWindow(0)
+	}
 
 	var opt bench.Options
 	switch *preset {
@@ -68,6 +74,7 @@ func main() {
 		for _, ab := range []func(bench.Options) bench.AblationResult{
 			bench.AblationCoalescing,
 			bench.AblationTracing,
+			bench.AblationFusion,
 			bench.AblationAnalysisScaling,
 		} {
 			t0 := time.Now()

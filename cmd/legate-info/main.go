@@ -9,13 +9,20 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/cunumeric"
 	"repro/internal/distal"
+	"repro/internal/legion"
 	"repro/internal/machine"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 1, "nodes of the simulated machine to describe")
+	fusion := flag.Bool("fusion", true, "enable the runtime's task-fusion window in the demo")
 	flag.Parse()
+
+	if !*fusion {
+		legion.SetDefaultFusionWindow(0)
+	}
 
 	m := machine.Summit(*nodes)
 	fmt.Printf("Simulated machine: %d node(s), %d CPU sockets, %d GPUs\n",
@@ -39,4 +46,19 @@ func main() {
 	for _, e := range core.Coverage() {
 		fmt.Printf("  %-45s %-18s %s\n", e.Name, e.Formats, e.Kind)
 	}
+
+	fmt.Printf("\nTask-fusion window: %d launches (set -fusion=false to disable)\n",
+		legion.DefaultFusionWindow())
+	fmt.Println("Fusion demo: 8 back-to-back AXPY launches on 2 GPUs:")
+	rt := legion.NewRuntime(m, m.Select(machine.GPU, 2))
+	x := cunumeric.Full(rt, 1<<12, 1)
+	y := cunumeric.Zeros(rt, 1<<12)
+	for k := 0; k < 8; k++ {
+		cunumeric.AXPY(0.125, x, y)
+	}
+	rt.Fence()
+	groups, members := rt.Profile().FusedLaunchCounts()
+	fmt.Printf("  fused launches issued: %d (absorbing %d originals); simulated time %v\n",
+		groups, members, rt.SimTime())
+	rt.Shutdown()
 }

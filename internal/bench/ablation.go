@@ -119,6 +119,57 @@ func AblationTracing(opt Options) AblationResult {
 	}
 }
 
+// AblationFusion measures the GMG solver's single-GPU throughput with
+// the runtime's task-fusion window enabled and disabled — the second of
+// the two §6.1 future-work mechanisms ("tracing [18] and task fusion
+// [32]"). Like tracing, fusion pays off in the small-task regime where
+// per-launch overhead rivals kernel time; unlike tracing it needs no
+// program annotation, the solver's AXPY/Jacobi chains fuse as issued.
+func AblationFusion(opt Options) AblationResult {
+	opt.UnitsPerProc = maxI64(opt.UnitsPerProc/4, 256)
+	run := func(fused bool) float64 {
+		rt := legateRuntime(machine.GPU, 1, scaled(machine.LegateCost(), opt.OverheadScale))
+		defer rt.Shutdown()
+		// Set the window explicitly both ways so the ablation measures the
+		// mechanism even when the global default is off (-fusion=false).
+		if fused {
+			rt.SetFusionWindow(legion.DefaultWindow)
+		} else {
+			rt.SetFusionWindow(0)
+		}
+		nx := gridFor(gmgUnits(opt))
+		if nx%2 == 1 {
+			nx++
+		}
+		a := core.Poisson2D(rt, nx)
+		b := cunumeric.Full(rt, nx*nx, 1)
+		mg := solvers.NewMultigrid(a, nx)
+		defer mg.Destroy()
+
+		step := func() {
+			res := mg.PCG(b, 1, 0)
+			res.X.Destroy()
+		}
+		d := protocol(opt.Runs, func() time.Duration {
+			step() // warmup
+			rt.Fence()
+			rt.ResetMetrics()
+			for i := 0; i < gmgIters; i++ {
+				step()
+			}
+			rt.Fence()
+			return rt.SimTime()
+		})
+		return throughput(gmgIters, d)
+	}
+	return AblationResult{
+		Name:    "task fusion [32] on GMG (§6.1 future work)",
+		Metric:  "PCG iterations/sec on 1 GPU (higher is better)",
+		With:    run(true),
+		Without: run(false),
+	}
+}
+
 // AblationAnalysisScaling measures the quantum workload's throughput at
 // the largest GPU count with and without tracing, showing that the
 // launch-analysis overhead — not the kernels — limits the paper's

@@ -26,6 +26,22 @@ func TestAblationTracing(t *testing.T) {
 	}
 }
 
+// TestAblationFusion: the task-fusion window must improve the GMG
+// solve's single-GPU throughput by at least the ISSUE's 20% bar — the
+// fused launches pay one LaunchOverhead per window instead of per op.
+func TestAblationFusion(t *testing.T) {
+	opt := tinyOptions()
+	opt.UnitsPerProc = 1 << 10 // overhead-visible regime
+	res := AblationFusion(opt)
+	if res.With <= res.Without {
+		t.Fatalf("fusion should improve GMG throughput: with=%v without=%v", res.With, res.Without)
+	}
+	if res.With < 1.25*res.Without {
+		t.Errorf("fusion gain below 25%%: with=%v without=%v (%.1f%%)",
+			res.With, res.Without, 100*(res.With/res.Without-1))
+	}
+}
+
 // TestAblationAnalysisScaling: tracing must also help the quantum
 // workload at the largest processor count, where per-point analysis
 // grows with the launch domain.

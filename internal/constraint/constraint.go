@@ -53,6 +53,7 @@ type Task struct {
 	args    any
 	opClass machine.OpClass
 	workFn  func(point int) int64
+	fusable bool
 }
 
 // NewTask begins building a task launch with the default launch domain
@@ -72,6 +73,11 @@ func (t *Task) SetOpClass(c machine.OpClass) *Task { t.opClass = c; return t }
 
 // SetWork installs an explicit per-point work estimate.
 func (t *Task) SetWork(f func(point int) int64) *Task { t.workFn = f; return t }
+
+// SetFusable marks the launch as eligible for the runtime's task-fusion
+// window (see legion.Launch.SetFusable). Only data-parallel kernels whose
+// point tasks touch nothing outside their declared subspaces qualify.
+func (t *Task) SetFusable() *Task { t.fusable = true; return t }
 
 func (t *Task) addVar(r *legion.Region, priv legion.Privilege) Var {
 	t.vars = append(t.vars, vspec{region: r, priv: priv, imageSrc: -1})
@@ -150,6 +156,7 @@ func (t *Task) Execute() *legion.Future {
 	if t.workFn != nil {
 		l.SetWork(t.workFn)
 	}
+	l.SetFusable(t.fusable)
 	return l.Execute()
 }
 

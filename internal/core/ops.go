@@ -35,16 +35,14 @@ func (a *CSR) SpMVInto(y, x *cunumeric.Array) {
 		if bounds.Empty() {
 			return
 		}
-		args := &distal.Args{
-			Ops: map[string]*distal.Operand{
-				"y": {Vals: tc.Float64(0)},
-				"A": {Pos: tc.Rects(1), Crd: tc.Int64(2), Vals: tc.Float64(3)},
-				"x": {Vals: tc.Float64(4)},
-			},
-			Lo: bounds.Lo, Hi: bounds.Hi,
-		}
-		k.Exec(args)
-		tc.SetWorkElems(k.WorkEstimate(args))
+		s := getSpMVScratch()
+		s.y.Vals = tc.Float64(0)
+		s.A.Pos, s.A.Crd, s.A.Vals = tc.Rects(1), tc.Int64(2), tc.Float64(3)
+		s.x.Vals = tc.Float64(4)
+		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
+		k.Exec(&s.args)
+		tc.SetWorkElems(k.WorkEstimate(&s.args))
+		s.release()
 	})
 	vy := task.AddOutput(y.Region())
 	vpos := task.AddInput(a.pos)
@@ -79,17 +77,14 @@ func (a *CSC) SpMVInto(y, x *cunumeric.Array) {
 		if bounds.Empty() {
 			return
 		}
-		args := &distal.Args{
-			Ops: map[string]*distal.Operand{
-				"y": {},
-				"A": {Pos: tc.Rects(1), Crd: tc.Int64(2), Vals: tc.Float64(3)},
-				"x": {Vals: tc.Float64(4)},
-			},
-			Lo: bounds.Lo, Hi: bounds.Hi,
-			Accum: func(idx int64, v float64) { tc.ReduceAdd(0, idx, v) },
-		}
-		k.Exec(args)
-		tc.SetWorkElems(k.WorkEstimate(args))
+		s := getSpMVScratch()
+		s.A.Pos, s.A.Crd, s.A.Vals = tc.Rects(1), tc.Int64(2), tc.Float64(3)
+		s.x.Vals = tc.Float64(4)
+		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
+		s.args.Accum = func(idx int64, v float64) { tc.ReduceAdd(0, idx, v) }
+		k.Exec(&s.args)
+		tc.SetWorkElems(k.WorkEstimate(&s.args))
+		s.release()
 	})
 	vy := task.AddReduction(y.Region())
 	vpos := task.AddInput(a.pos)
@@ -233,16 +228,14 @@ func (a *DIA) SpMVInto(y, x *cunumeric.Array) {
 		if bounds.Empty() {
 			return
 		}
-		args := &distal.Args{
-			Ops: map[string]*distal.Operand{
-				"y": {Vals: tc.Float64(0)},
-				"A": {Vals: tc.Float64(1), Stride: nCols, Offsets: offsets},
-				"x": {Vals: tc.Float64(2)},
-			},
-			Lo: bounds.Lo, Hi: bounds.Hi,
-		}
-		k.Exec(args)
-		tc.SetWorkElems(k.WorkEstimate(args))
+		s := getSpMVScratch()
+		s.y.Vals = tc.Float64(0)
+		s.A.Vals, s.A.Stride, s.A.Offsets = tc.Float64(1), nCols, offsets
+		s.x.Vals = tc.Float64(2)
+		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
+		k.Exec(&s.args)
+		tc.SetWorkElems(k.WorkEstimate(&s.args))
+		s.release()
 	})
 	vy := task.AddOutput(y.Region())
 	vd := task.AddInput(a.data)
@@ -411,15 +404,13 @@ func (a *CSR) SumAxis1() *cunumeric.Array {
 		if bounds.Empty() {
 			return
 		}
-		args := &distal.Args{
-			Ops: map[string]*distal.Operand{
-				"y": {Vals: tc.Float64(0)},
-				"A": {Pos: tc.Rects(1), Vals: tc.Float64(2)},
-			},
-			Lo: bounds.Lo, Hi: bounds.Hi,
-		}
-		k.Exec(args)
-		tc.SetWorkElems(k.WorkEstimate(args))
+		s := getSpMVScratch()
+		s.y.Vals = tc.Float64(0)
+		s.A.Pos, s.A.Vals = tc.Rects(1), tc.Float64(2)
+		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
+		k.Exec(&s.args)
+		tc.SetWorkElems(k.WorkEstimate(&s.args))
+		s.release()
 	})
 	vy := task.AddOutput(out.Region())
 	vpos := task.AddInput(a.pos)
@@ -429,6 +420,60 @@ func (a *CSR) SumAxis1() *cunumeric.Array {
 	task.SetOpClass(machine.SparseIter)
 	task.Execute()
 	return out
+}
+
+// SpMVRowSumInto computes y = A @ x and s = A.sum(axis=1) in ONE index
+// launch: both kernels iterate the same row tiles of A, so the composed
+// DISTAL loop nest (ComposeKernels) runs them back to back over each
+// point's tile, paying one launch's overhead and one pass over pos
+// instead of two. Jacobi-style smoothers that need the matrix-vector
+// product and the row sums of the same operator use this to halve their
+// launch count.
+func (a *CSR) SpMVRowSumInto(y, s, x *cunumeric.Array) {
+	if x.Len() != a.cols || y.Len() != a.rows || s.Len() != a.rows {
+		panic(fmt.Sprintf("core: SpMVRowSum shape mismatch: %v with x[%d] -> y[%d], s[%d]",
+			a, x.Len(), y.Len(), s.Len()))
+	}
+	target := kernelTarget(a.rt)
+	fused := distal.ComposeKernels("spmv+row_sum",
+		distal.Stage{K: distal.Standard.MustLookup("spmv", distal.CSR, target)},
+		distal.Stage{K: distal.Standard.MustLookup("row_sum", distal.CSR, target),
+			Bind: func(ar *distal.Args) *distal.Args {
+				// row_sum writes its "y" — rebind it to the s operand.
+				return &distal.Args{Ops: map[string]*distal.Operand{
+					"y": ar.Ops["s"], "A": ar.Ops["A"],
+				}, Lo: ar.Lo, Hi: ar.Hi}
+			}},
+	)
+	task := constraint.NewTask(a.rt, "sparse.spmv_rowsum", func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(0)
+		if bounds.Empty() {
+			return
+		}
+		args := &distal.Args{
+			Ops: map[string]*distal.Operand{
+				"y": {Vals: tc.Float64(0)},
+				"s": {Vals: tc.Float64(1)},
+				"A": {Pos: tc.Rects(2), Crd: tc.Int64(3), Vals: tc.Float64(4)},
+				"x": {Vals: tc.Float64(5)},
+			},
+			Lo: bounds.Lo, Hi: bounds.Hi,
+		}
+		fused.Exec(args)
+		tc.SetWorkElems(fused.WorkEstimate(args))
+	})
+	vy := task.AddOutput(y.Region())
+	vs := task.AddOutput(s.Region())
+	vpos := task.AddInput(a.pos)
+	vcrd := task.AddInput(a.crd)
+	vvals := task.AddInput(a.vals)
+	vx := task.AddInput(x.Region())
+	task.Align(vy, vpos)
+	task.Align(vs, vpos)
+	task.Image(vpos, vcrd, vvals)
+	task.Image(vcrd, vx)
+	task.SetOpClass(machine.SparseIter)
+	task.Execute()
 }
 
 // SumAxis0 returns the per-column sums (scipy A.sum(axis=0)): a

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/distal"
+)
+
+// spmvScratch is the per-point-task argument pack of the SpMV-family
+// kernels. Building it inline allocated an Args, an Ops map, and three
+// Operand structs per point task per launch — and SpMV sits inside every
+// solver iteration in the tree, so those five small allocations were the
+// hottest garbage producer in the runtime. The pack is now pooled: the
+// Ops map is built once, pointing at the struct's own operand fields, and
+// point tasks just overwrite the slices.
+type spmvScratch struct {
+	y, A, x distal.Operand
+	args    distal.Args
+}
+
+var spmvPool = sync.Pool{New: func() any {
+	s := &spmvScratch{}
+	s.args.Ops = map[string]*distal.Operand{"y": &s.y, "A": &s.A, "x": &s.x}
+	return s
+}}
+
+func getSpMVScratch() *spmvScratch { return spmvPool.Get().(*spmvScratch) }
+
+// release clears every slice reference (the pool must not pin region
+// backing stores past the point task) and returns the pack to the pool.
+func (s *spmvScratch) release() {
+	s.y, s.A, s.x = distal.Operand{}, distal.Operand{}, distal.Operand{}
+	s.args.Lo, s.args.Hi, s.args.Accum = 0, 0, nil
+	spmvPool.Put(s)
+}

@@ -61,6 +61,7 @@ func Arange(rt *legion.Runtime, n int64) *Array {
 		tc.Subspace(0).Each(func(i int64) { d[i] = float64(i) })
 	})
 	t.AddOutput(a.region)
+	t.SetFusable()
 	t.Execute()
 	return a
 }
@@ -78,6 +79,7 @@ func Random(rt *legion.Runtime, n int64, seed uint64) *Array {
 	})
 	t.AddOutput(a.region)
 	t.SetArgs(seed)
+	t.SetFusable()
 	t.Execute()
 	return a
 }
@@ -130,6 +132,7 @@ func (a *Array) Fill(v float64) {
 	})
 	t.AddOutput(a.region)
 	t.SetArgs(v)
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -142,6 +145,7 @@ func Copy(dst, src *Array) {
 	vd := t.AddOutput(dst.region)
 	vs := t.AddInput(src.region)
 	t.Align(vd, vs)
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -155,6 +159,7 @@ func binop(name string, dst, a, b *Array, f func(x, y float64) float64) {
 	va := t.AddInput(a.region)
 	vb := t.AddInput(b.region)
 	t.Align(vd, va).Align(vd, vb)
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -193,6 +198,7 @@ func (a *Array) Scale(alpha float64) {
 	})
 	t.AddInOut(a.region)
 	t.SetArgs(alpha)
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -205,11 +211,18 @@ func (a *Array) AddScalar(alpha float64) {
 	})
 	t.AddInOut(a.region)
 	t.SetArgs(alpha)
+	t.SetFusable()
 	t.Execute()
 }
 
 // AXPY computes y += alpha * x (the BLAS building block of every
 // iterative solver in §5.2).
+//
+// AXPY is fusion-eligible: back-to-back AXPY/AXPBY/Copy chains — the
+// "FusedAXPY" pattern every solver in internal/solvers emits — collapse
+// into one fused launch inside the runtime's fusion window, paying a
+// single launch-analysis charge and one goroutine round-trip per point,
+// with no solver rewrites.
 func AXPY(alpha float64, x, y *Array) {
 	t := constraint.NewTask(y.rt, "cn.axpy", func(tc *legion.TaskContext) {
 		yv, xv := tc.Float64(0), tc.Float64(1)
@@ -220,6 +233,7 @@ func AXPY(alpha float64, x, y *Array) {
 	vx := t.AddInput(x.region)
 	t.Align(vy, vx)
 	t.SetArgs(alpha)
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -234,6 +248,7 @@ func AXPBY(alpha float64, x *Array, beta float64, y *Array) {
 	vx := t.AddInput(x.region)
 	t.Align(vy, vx)
 	t.SetArgs([2]float64{alpha, beta})
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -248,6 +263,7 @@ func Apply(dst, src *Array, f func(float64) float64) {
 	vd := t.AddOutput(dst.region)
 	vs := t.AddInput(src.region)
 	t.Align(vd, vs)
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -275,6 +291,7 @@ func (a *Array) Clamp(lo, hi float64) {
 	})
 	t.AddInOut(a.region)
 	t.SetArgs([2]float64{lo, hi})
+	t.SetFusable()
 	t.Execute()
 }
 
@@ -295,6 +312,7 @@ func RecipClamp(dst, src *Array) {
 	vd := t.AddOutput(dst.region)
 	vs := t.AddInput(src.region)
 	t.Align(vd, vs)
+	t.SetFusable()
 	t.Execute()
 }
 

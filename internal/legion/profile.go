@@ -15,8 +15,10 @@ import (
 // per launch) and survives ResetMetrics so applications can inspect a
 // whole run.
 type Profile struct {
-	mu      sync.Mutex
-	entries map[string]*ProfileEntry
+	mu           sync.Mutex
+	entries      map[string]*ProfileEntry
+	fusedGroups  int64 // fused launches issued
+	fusedMembers int64 // original launches folded into them
 }
 
 // ProfileEntry is one task name's accumulated statistics.
@@ -41,6 +43,22 @@ func (p *Profile) recordLaunch(name string, points int) {
 	e.Launches++
 	e.Points += int64(points)
 	p.mu.Unlock()
+}
+
+// recordFusion notes that one fused launch replaced members originals.
+func (p *Profile) recordFusion(members int) {
+	p.mu.Lock()
+	p.fusedGroups++
+	p.fusedMembers += int64(members)
+	p.mu.Unlock()
+}
+
+// FusedLaunchCounts returns how many fused launches were issued and how
+// many original launches they replaced (members ≥ 2 × groups).
+func (p *Profile) FusedLaunchCounts() (groups, members int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fusedGroups, p.fusedMembers
 }
 
 func (p *Profile) recordPointTime(name string, d time.Duration) {
@@ -74,6 +92,9 @@ func (p *Profile) String() string {
 	fmt.Fprintf(&sb, "%-24s %10s %10s %14s\n", "task", "launches", "points", "sim time")
 	for _, e := range p.Entries() {
 		fmt.Fprintf(&sb, "%-24s %10d %10d %14s\n", e.Name, e.Launches, e.Points, e.SimTime)
+	}
+	if g, m := p.FusedLaunchCounts(); g > 0 {
+		fmt.Fprintf(&sb, "fusion: %d fused launches replaced %d originals\n", g, m)
 	}
 	return sb.String()
 }

@@ -26,6 +26,7 @@ type Runtime struct {
 	stats   *machine.Stats
 	map_    *Mapper
 	profile *Profile
+	fuser   *fuser // nil when task fusion is disabled
 
 	mu            sync.Mutex
 	nextRegion    RegionID
@@ -81,6 +82,9 @@ func NewRuntime(m *machine.Machine, procs []machine.ProcID) *Runtime {
 	}
 	rt.map_ = newMapper(rt)
 	rt.profile = newProfile()
+	if n := DefaultFusionWindow(); n > 1 {
+		rt.fuser = &fuser{rt: rt, max: n}
+	}
 	for _, p := range procs {
 		proc := p
 		w := newWorker(func(ls *launchState, point int) { rt.runPoint(ls, point, proc) })
@@ -142,6 +146,8 @@ func (rt *Runtime) Destroy(r *Region) {
 	if r == nil || r.destroyed {
 		return
 	}
+	// Buffered launches may use the region; issue them before quiescing.
+	rt.FlushFusion()
 	// Quiesce: wait for every outstanding launch that reads or writes
 	// the region, so pooling its allocations cannot race with in-flight
 	// mapping (which would also make the modeled memory accounting
@@ -179,8 +185,12 @@ func (rt *Runtime) Destroy(r *Region) {
 }
 
 // Fence blocks until every launched task has completed, like Legion's
-// execution fence.
-func (rt *Runtime) Fence() { rt.pending.Wait() }
+// execution fence. Like Execute, it must be called from the application
+// goroutine (it flushes the fusion window first).
+func (rt *Runtime) Fence() {
+	rt.FlushFusion()
+	rt.pending.Wait()
+}
 
 // Shutdown stops the worker goroutines after draining outstanding work.
 func (rt *Runtime) Shutdown() {
@@ -200,6 +210,7 @@ func (rt *Runtime) Shutdown() {
 // SimTime returns the current simulated time: the furthest point on any
 // processor timeline or the analysis timeline.
 func (rt *Runtime) SimTime() time.Duration {
+	rt.FlushFusion()
 	rt.simMu.Lock()
 	t := rt.simMax
 	for _, b := range rt.procBusy {
@@ -272,9 +283,20 @@ func (rt *Runtime) chargeAllReduce() {
 	rt.simMu.Unlock()
 }
 
+// AnalysisTime returns the simulated analysis-pipeline clock: the summed
+// launch-analysis cost of every Execute so far (discounted under trace
+// replay, charged once per fused launch).
+func (rt *Runtime) AnalysisTime() time.Duration {
+	rt.FlushFusion()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.analysisClock
+}
+
 // fenceRegion waits for all outstanding writers of r; used before the
 // runtime itself reads region contents (image computation).
 func (rt *Runtime) fenceRegion(r *Region) {
+	rt.FlushFusion()
 	rt.mu.Lock()
 	st := rt.regions[r.id]
 	var writers []*launchState
@@ -296,6 +318,19 @@ func (rt *Runtime) ProcForPoint(p int) machine.ProcID {
 	return rt.procs[p%len(rt.procs)]
 }
 
+// procForPoint resolves a launch's point→processor mapping, honoring a
+// MapPoints override.
+func (rt *Runtime) procForPoint(ls *launchState, p int) machine.ProcID {
+	if ls.procMap != nil {
+		i := ls.procMap(p) % len(rt.procs)
+		if i < 0 {
+			i += len(rt.procs)
+		}
+		return rt.procs[i]
+	}
+	return rt.ProcForPoint(p)
+}
+
 // Execute submits the launch. Dependencies on earlier launches are
 // extracted from region requirements; the launch runs as soon as they
 // complete. Execute returns a Future carrying the launch's reduction
@@ -304,8 +339,44 @@ func (rt *Runtime) ProcForPoint(p int) machine.ProcID {
 // Execute must be called from the application goroutine: the sequential
 // order of Execute calls defines the program whose semantics the runtime
 // preserves.
+//
+// A launch marked SetFusable may be buffered in the runtime's fusion
+// window rather than issued immediately; its Future resolves the window
+// on first use, and any barrier (Fence, Destroy, SimTime, traces) also
+// flushes it. Sequential semantics are preserved either way.
 func (l *Launch) Execute() *Future {
 	rt := l.rt
+	rt.noteWrites(l.reqs)
+	if f := rt.fuser; f != nil {
+		if fut := f.offer(l); fut != nil {
+			return fut
+		}
+	}
+	return rt.executeNow(l)
+}
+
+// noteWrites applies the program-order effects of a launch's writes that
+// *later solves* observe — the region version bump and key-partition
+// update — at Execute time, even if the launch itself is then buffered
+// in the fusion window. Deferring these to flush time would change which
+// key partitions the constraint solver sees for subsequent operations,
+// and a partition choice (e.g. a stale partial-cover image partition)
+// changes which indices a kernel visits.
+func (rt *Runtime) noteWrites(reqs []req) {
+	rt.mu.Lock()
+	for _, rq := range reqs {
+		if rq.priv.writes() {
+			rq.region.version++
+			if rq.part != nil {
+				rq.region.keyPartition = rq.part
+			}
+		}
+	}
+	rt.mu.Unlock()
+}
+
+// executeNow issues the launch immediately, bypassing the fusion window.
+func (rt *Runtime) executeNow(l *Launch) *Future {
 	ls := &launchState{
 		name:    l.name,
 		points:  l.points,
@@ -314,6 +385,8 @@ func (l *Launch) Execute() *Future {
 		args:    l.args,
 		opClass: l.opClass,
 		workFn:  l.workFn,
+		fused:   l.fused,
+		procMap: l.procMap,
 		done:    make(chan struct{}),
 	}
 	ls.remaining.Store(int64(l.points))
@@ -353,10 +426,6 @@ func (l *Launch) Execute() *Future {
 		if rq.priv.writes() {
 			st.lastWriters = []*launchState{ls}
 			st.readers = nil
-			rq.region.version++
-			if rq.part != nil {
-				rq.region.keyPartition = rq.part
-			}
 		} else {
 			st.readers = append(st.readers, ls)
 		}
@@ -367,7 +436,7 @@ func (l *Launch) Execute() *Future {
 	// worker executes its points in a deterministic, deadlock-free
 	// program order; the launch's ready flag gates actual execution.
 	for p := 0; p < ls.points; p++ {
-		rt.workers[rt.ProcForPoint(p)].enqueue(ls, p)
+		rt.workers[rt.procForPoint(ls, p)].enqueue(ls, p)
 	}
 
 	// Register with live dependencies. The guard count (+1) keeps the
@@ -419,12 +488,27 @@ func (ls *launchState) noteDepDone(finish time.Duration, rt *Runtime) {
 	}
 }
 
-// dispatch marks a launch ready and wakes the workers hosting its
-// points.
+// dispatch marks a launch ready and wakes each distinct worker hosting
+// one of its points exactly once. The point→proc mapping need not be the
+// identity over the first len(procs) points (MapPoints overrides it), so
+// the workers to wake are derived from the mapping itself.
 func (rt *Runtime) dispatch(ls *launchState) {
 	ls.ready.Store(true)
-	for p := 0; p < ls.points && p < len(rt.procs); p++ {
-		rt.workers[rt.ProcForPoint(p)].wake()
+	if ls.procMap == nil && ls.points >= len(rt.procs) {
+		// Round-robin over at least one full cycle touches every worker.
+		for _, w := range rt.workers {
+			w.wake()
+		}
+		return
+	}
+	woken := make(map[machine.ProcID]struct{}, ls.points)
+	for p := 0; p < ls.points; p++ {
+		proc := rt.procForPoint(ls, p)
+		if _, dup := woken[proc]; dup {
+			continue
+		}
+		woken[proc] = struct{}{}
+		rt.workers[proc].wake()
 	}
 }
 
@@ -434,19 +518,12 @@ func (rt *Runtime) dispatch(ls *launchState) {
 // point.
 func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
 	rt.stats.PointTasks.Add(1)
-	subs := make([]geometry.IntervalSet, len(ls.reqs))
+	subs := subspacesFor(ls.reqs, point)
 	var copyTime time.Duration
 	failed := rt.errSet()
 	if !failed {
 		for i, rq := range ls.reqs {
-			var sub geometry.IntervalSet
-			if rq.part != nil {
-				sub = rq.part.Subspace(point)
-			} else if rq.region.size > 0 {
-				sub = geometry.NewIntervalSet(rq.region.Domain())
-			}
-			subs[i] = sub
-			res, err := rt.map_.mapRequirement(proc, rq.region, sub, rq.priv)
+			res, err := rt.map_.mapRequirement(proc, rq.region, subs[i], rq.priv)
 			if err != nil {
 				rt.setErr(err)
 				failed = true
@@ -458,16 +535,20 @@ func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
 
 	var work int64
 	if !failed {
-		ctx := &TaskContext{launch: ls, point: point, subs: subs}
-		ls.kernel(ctx)
-		if ctx.hasPartial {
-			ls.partialMu.Lock()
-			ls.partials += ctx.partial
-			ls.partialMu.Unlock()
-		}
-		work = ctx.work
-		if work == 0 {
-			work = defaultWork(ls, subs)
+		if len(ls.fused) > 0 {
+			work = ls.runFusedPoint(point)
+		} else {
+			ctx := &TaskContext{launch: ls, point: point, subs: subs, reqs: ls.reqs, args: ls.args}
+			ls.kernel(ctx)
+			if ctx.hasPartial {
+				ls.partialMu.Lock()
+				ls.partials += ctx.partial
+				ls.partialMu.Unlock()
+			}
+			work = ctx.work
+			if work == 0 {
+				work = defaultWork(ls.reqs, subs)
+			}
 		}
 	}
 	if ls.workFn != nil {
@@ -505,11 +586,25 @@ func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
 	}
 }
 
+// subspacesFor materializes the index subspace of each requirement for
+// one point of the launch domain.
+func subspacesFor(reqs []req, point int) []geometry.IntervalSet {
+	subs := make([]geometry.IntervalSet, len(reqs))
+	for i, rq := range reqs {
+		if rq.part != nil {
+			subs[i] = rq.part.Subspace(point)
+		} else if rq.region.size > 0 {
+			subs[i] = geometry.NewIntervalSet(rq.region.Domain())
+		}
+	}
+	return subs
+}
+
 // defaultWork estimates a point task's processed elements as the size of
 // its first written subspace (or first subspace if it only reads).
-func defaultWork(ls *launchState, subs []geometry.IntervalSet) int64 {
+func defaultWork(reqs []req, subs []geometry.IntervalSet) int64 {
 	var firstRead int64 = -1
-	for i, rq := range ls.reqs {
+	for i, rq := range reqs {
 		if rq.priv.writes() {
 			return subs[i].Size()
 		}

@@ -73,6 +73,9 @@ type Launch struct {
 	opClass machine.OpClass
 	reduce  bool
 	workFn  func(point int) int64 // optional explicit work estimate
+	fusable bool                  // eligible for the runtime's fusion window
+	fused   []fusedMember         // set by the fuser on a fused launch
+	procMap func(point int) int   // optional point→proc override (index into Procs)
 }
 
 // NewLaunch begins building an index launch of the given number of point
@@ -131,6 +134,18 @@ func (l *Launch) SetOpClass(c machine.OpClass) *Launch { l.opClass = c; return l
 // first written subspace, or first read subspace if none is written).
 func (l *Launch) SetWork(f func(point int) int64) *Launch { l.workFn = f; return l }
 
+// SetFusable marks the launch as eligible for the runtime's task-fusion
+// window (see fusion.go). Only side-effect-free data-parallel kernels
+// whose point tasks touch nothing outside their declared subspaces may
+// be marked; launches with ReduceSum requirements or reduction futures
+// are never fused regardless.
+func (l *Launch) SetFusable(on bool) *Launch { l.fusable = on; return l }
+
+// MapPoints overrides the runtime's round-robin point→processor mapping
+// for this launch: f(point) indexes into Runtime.Procs(). Used by tests
+// and mappers that need a non-identity placement.
+func (l *Launch) MapPoints(f func(point int) int) *Launch { l.procMap = f; return l }
+
 // Future is the result of a reduction launch. Get blocks until the value
 // is ready; for multi-processor runs it also charges the modeled cost of
 // the all-reduce that a distributed execution would perform, which is the
@@ -138,20 +153,40 @@ func (l *Launch) SetWork(f func(point int) int64) *Launch { l.workFn = f; return
 type Future struct {
 	launch *launchState
 	rt     *Runtime
+	pend   *pendingLaunch // set instead of launch while buffered for fusion
+}
+
+// pendingLaunch carries the eventual launchState of a launch sitting in
+// the fusion window; the fuser fills it in at flush time.
+type pendingLaunch struct {
+	ls *launchState
+}
+
+// resolve returns the backing launchState, flushing the fusion window
+// first if the producing launch is still buffered. Like Execute, it must
+// be called from the application goroutine.
+func (f *Future) resolve() *launchState {
+	if f.launch == nil {
+		f.rt.FlushFusion()
+		f.launch = f.pend.ls
+	}
+	return f.launch
 }
 
 // Get waits for the producing launch and returns the reduced value.
 func (f *Future) Get() float64 {
-	f.launch.wait()
+	ls := f.resolve()
+	ls.wait()
 	f.rt.chargeAllReduce()
-	return f.launch.reduced.Load().(float64)
+	return ls.reduced.Load().(float64)
 }
 
 // GetNoSync returns the reduced value without charging all-reduce cost;
 // used by tests that want the value without perturbing the sim clock.
 func (f *Future) GetNoSync() float64 {
-	f.launch.wait()
-	return f.launch.reduced.Load().(float64)
+	ls := f.resolve()
+	ls.wait()
+	return ls.reduced.Load().(float64)
 }
 
 // TaskContext is the interface a kernel uses to reach its data. Accessor
@@ -160,6 +195,8 @@ type TaskContext struct {
 	launch     *launchState
 	point      int
 	subs       []geometry.IntervalSet
+	reqs       []req // this kernel's requirements (≠ launch reqs when fused)
+	args       any
 	work       int64
 	partial    float64
 	hasPartial bool
@@ -172,7 +209,7 @@ func (tc *TaskContext) Point() int { return tc.point }
 func (tc *TaskContext) NumPoints() int { return tc.launch.points }
 
 // Args returns the launch arguments set with SetArgs.
-func (tc *TaskContext) Args() any { return tc.launch.args }
+func (tc *TaskContext) Args() any { return tc.args }
 
 // Subspace returns the index set of requirement i for this point.
 func (tc *TaskContext) Subspace(i int) geometry.IntervalSet { return tc.subs[i] }
@@ -182,16 +219,16 @@ func (tc *TaskContext) Bounds(i int) geometry.Rect { return tc.subs[i].Bounds() 
 
 // Float64 returns the float64 backing slice of requirement i's region.
 // The kernel must only touch indices within Subspace(i).
-func (tc *TaskContext) Float64(i int) []float64 { return tc.launch.reqs[i].region.Float64s() }
+func (tc *TaskContext) Float64(i int) []float64 { return tc.reqs[i].region.Float64s() }
 
 // Int64 returns the int64 backing slice of requirement i's region.
-func (tc *TaskContext) Int64(i int) []int64 { return tc.launch.reqs[i].region.Int64s() }
+func (tc *TaskContext) Int64(i int) []int64 { return tc.reqs[i].region.Int64s() }
 
 // Rects returns the rect backing slice of requirement i's region.
-func (tc *TaskContext) Rects(i int) []geometry.Rect { return tc.launch.reqs[i].region.Rects() }
+func (tc *TaskContext) Rects(i int) []geometry.Rect { return tc.reqs[i].region.Rects() }
 
 // Complex returns the complex128 backing slice of requirement i's region.
-func (tc *TaskContext) Complex(i int) []complex128 { return tc.launch.reqs[i].region.Complexes() }
+func (tc *TaskContext) Complex(i int) []complex128 { return tc.reqs[i].region.Complexes() }
 
 // SetWorkElems reports how many elements this point actually processed,
 // improving the cost model's duration estimate (e.g. a SpMV point reports
@@ -206,7 +243,7 @@ func (tc *TaskContext) Reduce(v float64) { tc.partial = v; tc.hasPartial = true 
 // region. Kernels must use it when accumulating through a ReduceSum
 // requirement whose partition is aliased across points.
 func (tc *TaskContext) ReduceAdd(i int, idx int64, v float64) {
-	s := tc.launch.reqs[i].region.Float64s()
+	s := tc.reqs[i].region.Float64s()
 	addr := (*uint64)(unsafe.Pointer(&s[idx]))
 	for {
 		old := atomic.LoadUint64(addr)
@@ -230,6 +267,8 @@ type launchState struct {
 	opClass machine.OpClass
 	reduce  bool
 	workFn  func(point int) int64
+	fused   []fusedMember         // non-empty for a fused launch
+	procMap func(point int) int   // optional point→proc override
 
 	// Dependence DAG. depCount holds remaining unfinished dependencies
 	// plus a registration guard; the launch dispatches when it hits zero.

@@ -23,8 +23,12 @@ const TraceReplayFactor = 0.1
 
 // BeginTrace marks the start of a traced sequence identified by id.
 // The first BeginTrace(id) records; subsequent ones replay. Traces must
-// not nest.
+// not nest. The fusion window is flushed at both trace boundaries so a
+// fused launch is charged entirely inside or entirely outside the trace;
+// within the trace, fusion and replay compose (a fused launch issued
+// during replay pays the discounted analysis cost once).
 func (rt *Runtime) BeginTrace(id int64) {
+	rt.FlushFusion()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.traceActive {
@@ -40,6 +44,7 @@ func (rt *Runtime) BeginTrace(id int64) {
 
 // EndTrace closes the current traced sequence.
 func (rt *Runtime) EndTrace() {
+	rt.FlushFusion()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if !rt.traceActive {

@@ -2,6 +2,7 @@ package legion
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/machine"
 )
@@ -104,5 +105,86 @@ func TestTraceFirstRecordingPaysFullCost(t *testing.T) {
 	replay := rt.SimTime()
 	if float64(replay) > 0.5*float64(first) {
 		t.Errorf("replay (%v) should be much cheaper than recording (%v)", replay, first)
+	}
+}
+
+// TestTraceFusionComposition is the property test for fusion x tracing:
+// a solver-style fusable chain run (a) plain, (b) traced, (c) traced
+// with fusion must give bit-identical results, and the traced+fused
+// replay iterations must each pay strictly less analysis time than the
+// unfused first (recording) iteration.
+func TestTraceFusionComposition(t *testing.T) {
+	type result struct {
+		data      []float64
+		perIter   []time.Duration // analysis time charged per iteration
+	}
+	run := func(traced bool, window int) result {
+		m := machine.Summit(1)
+		rt := NewRuntime(m, m.Select(machine.GPU, 2))
+		defer rt.Shutdown()
+		rt.SetFusionWindow(window)
+		x := rt.CreateRegion("x", 64, Float64)
+		y := rt.CreateRegion("y", 64, Float64)
+		px := rt.BlockPartition(x, 2)
+		py := rt.BlockPartition(y, 2)
+		step := func(name string, dst *Region, dp *Partition, src *Region, sp *Partition,
+			f func(d, s float64) float64) {
+			l := rt.NewLaunch(name, 2, func(tc *TaskContext) {
+				d, s := tc.Float64(0), tc.Float64(1)
+				tc.Subspace(0).Each(func(i int64) { d[i] = f(d[i], s[i]) })
+			})
+			l.Add(dst, dp, ReadWrite)
+			l.Add(src, sp, ReadOnly)
+			l.SetFusable(true)
+			l.Execute()
+		}
+		var res result
+		for iter := 0; iter < 6; iter++ {
+			before := rt.AnalysisTime()
+			if traced {
+				rt.BeginTrace(99)
+			}
+			for k := 0; k < 4; k++ {
+				step("ax", y, py, x, px, func(d, s float64) float64 { return d + 0.5*s + 1 })
+				step("xy", x, px, y, py, func(d, s float64) float64 { return d*0.75 + 0.1*s })
+			}
+			if traced {
+				rt.EndTrace()
+			}
+			res.perIter = append(res.perIter, rt.AnalysisTime()-before)
+		}
+		rt.Fence()
+		res.data = append(append([]float64(nil), x.Float64s()...), y.Float64s()...)
+		return res
+	}
+
+	plain := run(false, 0)
+	traced := run(true, 0)
+	tracedFused := run(true, 16)
+	for i := range plain.data {
+		if plain.data[i] != traced.data[i] || plain.data[i] != tracedFused.data[i] {
+			t.Fatalf("results diverge at %d: plain %v, traced %v, traced+fused %v",
+				i, plain.data[i], traced.data[i], tracedFused.data[i])
+		}
+	}
+	// Property: every replayed+fused iteration is strictly cheaper in
+	// analysis time than the unfused, untraced first iteration.
+	first := plain.perIter[0]
+	for i, d := range tracedFused.perIter[1:] {
+		if d >= first {
+			t.Errorf("traced+fused iter %d analysis time %v not below unfused first iter %v", i+1, d, first)
+		}
+	}
+	// And fusion stacks on top of tracing: replays with fusion cost no
+	// more than replays without.
+	var fusedReplay, plainReplay time.Duration
+	for _, d := range tracedFused.perIter[1:] {
+		fusedReplay += d
+	}
+	for _, d := range traced.perIter[1:] {
+		plainReplay += d
+	}
+	if fusedReplay > plainReplay {
+		t.Errorf("fused replay total %v exceeds unfused replay total %v", fusedReplay, plainReplay)
 	}
 }
