@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-fusion
+.PHONY: check vet build test race bench-fusion chaos
 
 # check is the full pre-merge gate: static analysis, build, the race-
-# enabled test suite, and one pass over the fusion wall-clock benchmarks
-# (compile + run, not a timing study — use `go test -bench` directly
-# with a real -benchtime for numbers).
-check: vet build race bench-fusion
+# enabled test suite, the fault-injection suite, and one pass over the
+# fusion wall-clock benchmarks (compile + run, not a timing study — use
+# `go test -bench` directly with a real -benchtime for numbers).
+check: vet build race chaos bench-fusion
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection and recovery suite under the race
+# detector: injector determinism, kernel-panic routing, checkpoint/
+# replay bit-identity, processor-death degradation, and the CG chaos
+# acceptance test.
+chaos:
+	$(GO) test -race -run 'Fault|Panic|Recovery|ProcDeath|Rescale|Checkpoint|Sticky|Chaos' ./internal/fault/ ./internal/legion/ ./internal/bench/
 
 bench-fusion:
 	$(GO) test -run=NONE -bench=BenchmarkFusion -benchtime=1x ./...

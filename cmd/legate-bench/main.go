@@ -4,8 +4,14 @@
 //
 // Usage:
 //
-//	legate-bench -exp spmv|cg|gmg|quantum|mf|all [-preset small|paper]
+//	legate-bench -exp spmv|cg|gmg|quantum|mf|recovery|all [-preset small|paper]
 //	             [-units N] [-iters N] [-runs N] [-mfscale N]
+//	             [-seed N] [-faults SPEC] [-checkpoint-every N]
+//
+// -exp recovery runs the fault-tolerance experiments: the fault-free
+// checkpointing overhead, a faulted run verified bit-identical to the
+// baseline, and the MTBF sweep (see internal/fault.Parse for the
+// -faults schedule syntax).
 //
 // Each experiment prints the same rows/series the paper's figure or
 // table reports, measured in simulated time on the synthetic machine
@@ -30,6 +36,9 @@ func main() {
 	runs := flag.Int("runs", 0, "override repetitions per configuration")
 	mfscale := flag.Int64("mfscale", 0, "override MovieLens dataset scale divisor")
 	fusion := flag.Bool("fusion", true, "enable the runtime's task-fusion window")
+	seed := flag.Uint64("seed", 42, "seed for workload generators and the fault injector")
+	faults := flag.String("faults", "", "fault schedule for -exp recovery (e.g. point@40:2,proc@1:500us,rate:0.001:3)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint interval in launches for -exp recovery (0 = default)")
 	flag.Parse()
 
 	if !*fusion {
@@ -58,6 +67,9 @@ func main() {
 	if *mfscale > 0 {
 		opt.MFScale = *mfscale
 	}
+	opt.Seed = *seed
+	opt.FaultSpec = *faults
+	opt.CheckpointEvery = *ckptEvery
 
 	run := func(name string, fig func(bench.Options) *bench.Figure) {
 		t0 := time.Now()
@@ -70,18 +82,28 @@ func main() {
 		fmt.Printf("%s\n(generated in %v)\n\n", tab.FormatTable(), time.Since(t0).Round(time.Millisecond))
 	}
 
+	runAblation := func(ab func(bench.Options) bench.AblationResult) {
+		t0 := time.Now()
+		res := ab(opt)
+		fmt.Printf("%s\n  %s\n  with: %.3f   without: %.3f\n(generated in %v)\n\n",
+			res.Name, res.Metric, res.With, res.Without, time.Since(t0).Round(time.Millisecond))
+	}
 	runAblations := func() {
 		for _, ab := range []func(bench.Options) bench.AblationResult{
 			bench.AblationCoalescing,
 			bench.AblationTracing,
 			bench.AblationFusion,
 			bench.AblationAnalysisScaling,
+			bench.AblationRecovery,
+			bench.AblationRecoveryFaulted,
 		} {
-			t0 := time.Now()
-			res := ab(opt)
-			fmt.Printf("%s\n  %s\n  with: %.3f   without: %.3f\n(generated in %v)\n\n",
-				res.Name, res.Metric, res.With, res.Without, time.Since(t0).Round(time.Millisecond))
+			runAblation(ab)
 		}
+	}
+	runRecovery := func() {
+		runAblation(bench.AblationRecovery)
+		runAblation(bench.AblationRecoveryFaulted)
+		run("fig-recovery", bench.FigRecovery)
 	}
 
 	switch *exp {
@@ -97,6 +119,8 @@ func main() {
 		runMF()
 	case "ablation":
 		runAblations()
+	case "recovery":
+		runRecovery()
 	case "all":
 		run("fig8", bench.Fig8SpMV)
 		run("fig9", bench.Fig9CG)

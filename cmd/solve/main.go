@@ -94,6 +94,10 @@ func main() {
 	if *profile {
 		fmt.Printf("\n%s", rt.Profile())
 	}
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "solve: %v\n", res.Err)
+		os.Exit(1)
+	}
 	if !res.Converged {
 		os.Exit(1)
 	}

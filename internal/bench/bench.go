@@ -86,6 +86,26 @@ type Options struct {
 	// cuSPARSE's SDDMM being far less efficient than the
 	// DISTAL-generated kernel (§6.2).
 	SDDMMPenalty float64
+
+	// Seed drives every seeded choice in the benchmarks: workload
+	// generators (matrix factorization's sampled ratings) and the
+	// fault injector. Same seed, same run — bit-identical.
+	Seed uint64
+	// FaultSpec is a fault.Parse schedule injected into the recovery
+	// experiments ("" = the experiments' built-in schedules).
+	FaultSpec string
+	// CheckpointEvery is the checkpoint interval in launches for the
+	// recovery experiments (0 = package default).
+	CheckpointEvery int
+}
+
+// seed returns the benchmark seed, defaulting to 42 so a zero-value
+// Options reproduces the historical runs.
+func (opt Options) seed() uint64 {
+	if opt.Seed == 0 {
+		return 42
+	}
+	return opt.Seed
 }
 
 // scaled returns cost with all fixed overheads multiplied by f.
@@ -102,6 +122,7 @@ func scaled(cost machine.CostModel, f float64) machine.CostModel {
 		cost.Latency[i] = time.Duration(float64(cost.Latency[i]) * f)
 	}
 	cost.AllocStall = time.Duration(float64(cost.AllocStall) * f)
+	cost.CheckpointLatency = time.Duration(float64(cost.CheckpointLatency) * f)
 	return cost
 }
 
@@ -118,6 +139,7 @@ func SmallOptions() Options {
 		OverheadScale:   1.0 / 64,
 		MFOverheadScale: 1.0 / 16,
 		SDDMMPenalty:    24,
+		Seed:            42,
 	}
 }
 
@@ -135,6 +157,7 @@ func PaperOptions() Options {
 		OverheadScale:   1.0 / 64,
 		MFOverheadScale: 1.0 / 16,
 		SDDMMPenalty:    24,
+		Seed:            42,
 	}
 }
 

@@ -18,12 +18,19 @@ func (f *Figure) FormatFigure() string {
 	sb.WriteByte('\n')
 	for _, p := range f.procCounts() {
 		fmt.Fprintf(&sb, "%-8d", p)
+		var notes []string
 		for _, s := range f.Series {
 			if v, ok := s.at(p); ok {
 				fmt.Fprintf(&sb, "%16.3f", v)
 			} else {
 				fmt.Fprintf(&sb, "%16s", "-")
 			}
+			if n := s.noteAt(p); n != "" {
+				notes = append(notes, n)
+			}
+		}
+		if len(notes) > 0 {
+			fmt.Fprintf(&sb, "   # %s", strings.Join(notes, "; "))
 		}
 		sb.WriteByte('\n')
 	}
@@ -46,7 +53,11 @@ func (f *Figure) Markdown() string {
 		fmt.Fprintf(&sb, "| %d |", p)
 		for _, s := range f.Series {
 			if v, ok := s.at(p); ok {
-				fmt.Fprintf(&sb, " %.3f |", v)
+				if n := s.noteAt(p); n != "" {
+					fmt.Fprintf(&sb, " %.3f (%s) |", v, n)
+				} else {
+					fmt.Fprintf(&sb, " %.3f |", v)
+				}
 			} else {
 				fmt.Fprintf(&sb, " — |")
 			}
@@ -85,6 +96,16 @@ func (s *Series) at(procs int) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// noteAt returns the series' note at the given processor count.
+func (s *Series) noteAt(procs int) string {
+	for _, p := range s.Points {
+		if p.Procs == procs {
+			return p.Note
+		}
+	}
+	return ""
 }
 
 // Find returns the series with the given system name, or nil.

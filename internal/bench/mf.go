@@ -31,8 +31,9 @@ var legateGPUCandidates = []int{1, 2, 3, 4, 6, 8, 12, 16, 24}
 // mfConfig sizes the hyperparameters to the (scaled) dataset. The batch
 // size is a fixed hyperparameter across the family (as in the paper's
 // training setup), clamped only when a scaled dataset is tiny.
-func mfConfig(ds *mlearn.Dataset) mlearn.Config {
+func mfConfig(ds *mlearn.Dataset, opt Options) mlearn.Config {
 	cfg := mlearn.DefaultConfig()
+	cfg.Seed = opt.seed()
 	cfg.BatchSize = 1024
 	if bs := ds.NNZ() / 4; bs < cfg.BatchSize {
 		if bs < 1 {
@@ -47,7 +48,7 @@ func mfConfig(ds *mlearn.Dataset) mlearn.Config {
 // returns the sustained samples/sec of simulated time, or ok=false if
 // the run hit the modeled memory capacity.
 func mfRun(rt *legion.Runtime, ds *mlearn.Dataset, opt Options) (float64, bool) {
-	cfg := mfConfig(ds)
+	cfg := mfConfig(ds, opt)
 	model := mlearn.NewModel(rt, ds, cfg)
 	defer model.Destroy()
 	rt.Fence()
@@ -96,7 +97,7 @@ func probeFootprint(ds *mlearn.Dataset, opt Options) int64 {
 	m := machine.New(machine.Config{Nodes: 1, Cost: &cost})
 	rt := legion.NewRuntime(m, m.Select(machine.GPU, 1))
 	defer rt.Shutdown()
-	cfg := mfConfig(ds)
+	cfg := mfConfig(ds, opt)
 	model := mlearn.NewModel(rt, ds, cfg)
 	defer model.Destroy()
 	model.Shuffle(0)
@@ -125,12 +126,12 @@ func Fig12MF(opt Options) *MFTable {
 	table := &MFTable{Scale: opt.MFScale}
 
 	// Calibrate capacities on the 25M-row footprint.
-	ds25 := family[1].Build(opt.MFScale, 42)
+	ds25 := family[1].Build(opt.MFScale, opt.seed())
 	cupyCap := int64(float64(probeFootprint(ds25, opt)) / 0.93)
 	legateCap := cupyCap * 7 / 8
 
 	for _, spec := range family {
-		ds := spec.Build(opt.MFScale, 42)
+		ds := spec.Build(opt.MFScale, opt.seed())
 		row := MFRow{Dataset: spec.Name}
 
 		// CuPy: one GPU, full-but-calibrated framebuffer, slow SDDMM.

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/fault"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/solvers"
+)
+
+// The recovery experiments measure the cost of the runtime's
+// checkpoint/replay fault tolerance on the Figure 9 CG workload: the
+// price of periodic region checkpoints when nothing fails, and the
+// price of restoring and replaying when something does. Recovery is
+// exact — a faulty run must reproduce the fault-free solution and
+// residual history bit for bit — so every experiment here doubles as a
+// correctness check and reports the comparison alongside the timings.
+
+// defaultCheckpointEvery is the checkpoint interval (in launches) the
+// recovery experiments use when Options.CheckpointEvery is zero. A CG
+// iteration issues a handful of launches, so this checkpoints every few
+// iterations — frequent enough that replay stays short, rare enough
+// that fault-free overhead stays in the noise.
+const defaultCheckpointEvery = 64
+
+func (opt Options) checkpointEvery() int {
+	if opt.CheckpointEvery > 0 {
+		return opt.CheckpointEvery
+	}
+	return defaultCheckpointEvery
+}
+
+// recoveryRun is one measured CG solve with (optionally) checkpointing
+// and fault injection attached.
+type recoveryRun struct {
+	x         []float64 // solution vector after the final iteration
+	residuals []float64 // per-iteration residual norms
+	sim       time.Duration
+	restores  int64
+	replayed  int64
+	lostProcs int64
+	err       error
+}
+
+// cgRecoveryRun runs a fixed-iteration CG solve on the 2-D Poisson
+// problem with procs GPUs and returns the full numeric outcome plus the
+// recovery counters. configure attaches checkpointing and/or a fault
+// injector to the fresh runtime before any launch is issued.
+func cgRecoveryRun(procs, iters int, opt Options, configure func(rt *legion.Runtime)) recoveryRun {
+	rt := legateRuntime(machine.GPU, procs, scaled(machine.LegateCost(), opt.OverheadScale))
+	defer rt.Shutdown()
+	if configure != nil {
+		configure(rt)
+	}
+	nx := gridFor(cgUnits(opt) * int64(procs))
+	a := core.Poisson2D(rt, nx)
+	b := cunumeric.Full(rt, nx*nx, 1)
+	res := solvers.CG(a, b, iters, 0) // tol 0: run all iters, same launch count every time
+	rt.Fence()
+	out := recoveryRun{
+		x:         res.X.ToSlice(),
+		residuals: res.Residuals,
+		sim:       rt.SimTime(),
+		restores:  rt.Stats().Restores.Load(),
+		replayed:  rt.Stats().ReplayedLaunches.Load(),
+		lostProcs: rt.Stats().ProcsLost.Load(),
+		err:       res.Err,
+	}
+	res.X.Destroy()
+	return out
+}
+
+// sameF64 reports exact (bitwise, for finite values) equality of two
+// float64 slices — the recovery guarantee is bit-identity, not
+// tolerance-level agreement.
+func sameF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AblationRecovery measures the fault-free cost of checkpointing: the
+// CG workload with periodic region checkpoints enabled versus disabled.
+// Snapshots are charged to the analysis pipeline (they overlap kernel
+// execution, like burst-buffer checkpointing), so the gap should stay
+// within a few percent.
+func AblationRecovery(opt Options) AblationResult {
+	every := opt.checkpointEvery()
+	run := func(ckpt bool) float64 {
+		d := protocol(opt.Runs, func() time.Duration {
+			r := cgRecoveryRun(2, cgIters, opt, func(rt *legion.Runtime) {
+				if ckpt {
+					rt.EnableCheckpointing(every)
+				}
+			})
+			return r.sim
+		})
+		return throughput(cgIters, d)
+	}
+	return AblationResult{
+		Name:    "checkpointing (fault-free)",
+		Metric:  fmt.Sprintf("CG iterations/sec, checkpoint every %d launches vs none", every),
+		With:    run(true),
+		Without: run(false),
+	}
+}
+
+// AblationRecoveryFaulted measures a faulty run against the fault-free
+// baseline: same workload, same seed, but the With run loses point
+// tasks (and, with four processors, one whole processor mid-run) and
+// must restore + replay its way back. The Metric records whether the
+// recovered results matched the baseline bit for bit — if they did not,
+// the timing comparison is meaningless and the runtime has a bug.
+func AblationRecoveryFaulted(opt Options) AblationResult {
+	every := opt.checkpointEvery()
+	const procs = 4
+	base := cgRecoveryRun(procs, cgIters, opt, func(rt *legion.Runtime) {
+		rt.EnableCheckpointing(every)
+	})
+	var inj *fault.Injector
+	faulted := cgRecoveryRun(procs, cgIters, opt, func(rt *legion.Runtime) {
+		rt.EnableCheckpointing(every)
+		if opt.FaultSpec != "" {
+			var err error
+			if inj, err = fault.Parse(opt.FaultSpec, opt.seed()); err != nil {
+				panic(err)
+			}
+		} else {
+			// Built-in chaos schedule: a burst of random point faults
+			// plus the death of the last processor halfway through the
+			// fault-free run.
+			inj = fault.New(opt.seed()).
+				SetRate(1.0/64, 8).
+				KillProc(rt.Procs()[procs-1], base.sim/2)
+		}
+		rt.SetFaultInjector(inj)
+	})
+	identical := sameF64(base.x, faulted.x) && sameF64(base.residuals, faulted.residuals) &&
+		base.err == nil && faulted.err == nil
+	return AblationResult{
+		Name: "fault recovery",
+		Metric: fmt.Sprintf(
+			"CG iterations/sec under faults (point-faults=%d proc-kills=%d restores=%d replayed=%d bit-identical=%v)",
+			inj.PointFaults(), inj.ProcKills(), faulted.restores, faulted.replayed, identical),
+		With:    throughput(cgIters, faulted.sim),
+		Without: throughput(cgIters, base.sim),
+	}
+}
+
+// recoveryMTBFs is the sweep of mean-time-between-failures values (in
+// launches) of FigRecovery; 0 means fault-free.
+var recoveryMTBFs = []int{0, 256, 64, 16}
+
+// FigRecovery sweeps the fault rate on the Figure 9 CG workload and
+// reports the sustained throughput with checkpoint/replay recovery
+// enabled. The x-axis ("procs" column) is the MTBF in launches — lower
+// MTBF, more restores, lower throughput. Every faulty run is verified
+// bit-identical to the fault-free one; a point that fails verification
+// is annotated rather than silently reported.
+func FigRecovery(opt Options) *Figure {
+	every := opt.checkpointEvery()
+	const procs = 4
+	fig := &Figure{
+		Name:   "fig-recovery",
+		Title:  fmt.Sprintf("CG under fault injection (%d GPUs, checkpoint every %d launches; x-axis = MTBF in launches, 0 = fault-free)", procs, every),
+		Metric: "iterations / second",
+	}
+	series := Series{System: "Legate-GPU+ckpt"}
+	var base recoveryRun
+	for _, mtbf := range recoveryMTBFs {
+		var inj *fault.Injector
+		r := cgRecoveryRun(procs, cgIters, opt, func(rt *legion.Runtime) {
+			rt.EnableCheckpointing(every)
+			if mtbf > 0 {
+				inj = fault.New(opt.seed()).SetRate(fault.RateForMTBF(float64(mtbf), procs), 0)
+				rt.SetFaultInjector(inj)
+			}
+		})
+		pt := Point{Procs: mtbf, Throughput: throughput(cgIters, r.sim)}
+		if mtbf == 0 {
+			base = r
+		} else {
+			if !sameF64(base.x, r.x) || !sameF64(base.residuals, r.residuals) || r.err != nil {
+				pt.Note = "MISMATCH"
+			} else {
+				pt.Note = fmt.Sprintf("faults=%d restores=%d", inj.PointFaults(), r.restores)
+			}
+		}
+		series.Points = append(series.Points, pt)
+	}
+	fig.Series = []Series{series}
+	return fig
+}

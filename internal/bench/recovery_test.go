@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/fault"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/solvers"
+)
+
+// chaosCG runs a fixed-iteration CG solve on the 2-D Poisson problem
+// and returns the solve result, the final solution values, and the
+// runtime (still open — caller's cleanup closes it).
+func chaosCG(t *testing.T, opt Options, configure func(rt *legion.Runtime)) (*solvers.Result, []float64, *legion.Runtime) {
+	t.Helper()
+	rt := legateRuntime(machine.GPU, 4, scaled(machine.LegateCost(), opt.OverheadScale))
+	t.Cleanup(rt.Shutdown)
+	if configure != nil {
+		configure(rt)
+	}
+	nx := int64(32)
+	a := core.Poisson2D(rt, nx)
+	b := cunumeric.Full(rt, nx*nx, 1)
+	res := solvers.CG(a, b, 20, 0)
+	rt.Fence()
+	return res, res.X.ToSlice(), rt
+}
+
+// TestChaosCGRecovery is the acceptance test of the fault-tolerance
+// work: a seeded schedule that kills several point tasks AND one whole
+// processor mid-run must leave CG on the 2-D Poisson problem with a
+// solution and residual history bit-identical to the fault-free run.
+// Task fusion stays at its default (enabled), so recovery is also
+// exercised against fused launches.
+func TestChaosCGRecovery(t *testing.T) {
+	opt := SmallOptions()
+	every := opt.checkpointEvery()
+
+	base, baseX, _ := chaosCG(t, opt, func(rt *legion.Runtime) {
+		rt.EnableCheckpointing(every)
+	})
+	if base.Err != nil {
+		t.Fatalf("fault-free run errored: %v", base.Err)
+	}
+
+	var inj *fault.Injector
+	faulted, faultedX, rt := chaosCG(t, opt, func(frt *legion.Runtime) {
+		frt.EnableCheckpointing(every)
+		inj = fault.New(opt.seed()).
+			SetRate(1.0/64, 6).
+			KillProc(frt.Procs()[3], 1)
+		frt.SetFaultInjector(inj)
+	})
+	if faulted.Err != nil {
+		t.Fatalf("faulted run errored: %v", faulted.Err)
+	}
+	if inj.PointFaults() < 1 {
+		t.Fatal("schedule fired no point faults; the test exercised nothing")
+	}
+	if inj.ProcKills() != 1 {
+		t.Fatal("processor kill did not fire")
+	}
+	if n := rt.NumProcs(); n != 3 {
+		t.Fatalf("NumProcs = %d after the kill, want 3", n)
+	}
+	if d := rt.LaunchDomain(); d != 4 {
+		t.Fatalf("LaunchDomain = %d, want stable 4", d)
+	}
+	if r := rt.Stats().Restores.Load(); r < 1 {
+		t.Fatalf("restores = %d, want >= 1", r)
+	}
+
+	if len(faulted.Residuals) != len(base.Residuals) {
+		t.Fatalf("residual history lengths differ: %d vs %d", len(faulted.Residuals), len(base.Residuals))
+	}
+	for i := range base.Residuals {
+		if faulted.Residuals[i] != base.Residuals[i] {
+			t.Fatalf("residual[%d]: faulted %v != clean %v (must be bit-identical)",
+				i, faulted.Residuals[i], base.Residuals[i])
+		}
+	}
+	if !sameF64(baseX, faultedX) {
+		t.Fatal("solutions differ; recovery must be bit-exact")
+	}
+}
+
+// TestRecoveryAblationOverhead checks the fault-free checkpointing
+// overhead stays within the 10% budget the recovery design targets
+// (snapshots are charged to the analysis pipeline, not the critical
+// path).
+func TestRecoveryAblationOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured ablation")
+	}
+	opt := SmallOptions()
+	opt.Runs = 1
+	res := AblationRecovery(opt)
+	if res.With <= 0 || res.Without <= 0 {
+		t.Fatalf("degenerate ablation: %+v", res)
+	}
+	if res.With < res.Without*0.90 {
+		t.Fatalf("fault-free checkpointing costs more than 10%%: with=%.1f without=%.1f", res.With, res.Without)
+	}
+}

@@ -59,7 +59,7 @@ type Task struct {
 // NewTask begins building a task launch with the default launch domain
 // (one point per runtime processor).
 func NewTask(rt *legion.Runtime, name string, kernel legion.KernelFunc) *Task {
-	return &Task{rt: rt, name: name, kernel: kernel, points: rt.NumProcs(), opClass: machine.Stream}
+	return &Task{rt: rt, name: name, kernel: kernel, points: rt.LaunchDomain(), opClass: machine.Stream}
 }
 
 // SetPoints overrides the launch-domain size.

@@ -148,7 +148,7 @@ func (a *BSR) SpMVInto(y, x *cunumeric.Array) {
 		panic(fmt.Sprintf("core: BSR SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
 	}
 	rt := a.rt
-	colors := rt.NumProcs()
+	colors := rt.LaunchDomain()
 	bs := a.blockSize
 	bRows := a.rows / bs
 

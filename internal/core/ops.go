@@ -156,7 +156,7 @@ func (a *COO) SpMVOwnerInto(y, x *cunumeric.Array) {
 		panic(fmt.Sprintf("core: COO SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
 	}
 	rt := a.rt
-	colors := rt.NumProcs()
+	colors := rt.LaunchDomain()
 	yPart := rt.BlockPartition(y.Region(), colors)
 	entryPart := rt.PreimageCoord(a.row, yPart)
 	colPart := rt.AlignedPartition(entryPart, a.col)
@@ -196,7 +196,7 @@ func (a *DIA) SpMVInto(y, x *cunumeric.Array) {
 		panic(fmt.Sprintf("core: DIA SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
 	}
 	rt := a.rt
-	colors := rt.NumProcs()
+	colors := rt.LaunchDomain()
 	rowTiles := geometry.Tile(geometry.NewRect(0, a.rows-1), colors)
 	xSets := make([]geometry.IntervalSet, colors)
 	dataSets := make([]geometry.IntervalSet, colors)
@@ -307,7 +307,7 @@ func (a *CSR) SpMMInto(y, x *cunumeric.Matrix) {
 			a, x.Rows(), x.Cols(), y.Rows(), y.Cols()))
 	}
 	rt := a.rt
-	colors := rt.NumProcs()
+	colors := rt.LaunchDomain()
 	k := distal.Standard.MustLookup("spmm", distal.CSR, kernelTarget(rt))
 	kk := x.Cols()
 	task := constraint.NewTask(rt, "sparse.spmm", func(tc *legion.TaskContext) {
@@ -356,7 +356,7 @@ func (a *CSR) SDDMM(b, c *cunumeric.Matrix) *CSR {
 			a, b.Rows(), b.Cols(), c.Rows(), c.Cols()))
 	}
 	rt := a.rt
-	colors := rt.NumProcs()
+	colors := rt.LaunchDomain()
 	out := &CSR{rt: rt, rows: a.rows, cols: a.cols, pos: a.pos, crd: a.crd,
 		vals: rt.CreateRegion("R.vals", a.NNZ(), legion.Float64)}
 	k := distal.Standard.MustLookup("sddmm", distal.CSR, kernelTarget(rt))

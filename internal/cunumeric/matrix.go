@@ -99,7 +99,7 @@ func (m *Matrix) FillMatrix(v float64) {
 		tc.Subspace(0).Each(func(i int64) { d[i] = x })
 	})
 	vOut := t.AddOutput(m.region)
-	t.UsePartition(vOut, m.RowPartition(m.rt.NumProcs()))
+	t.UsePartition(vOut, m.RowPartition(m.rt.LaunchDomain()))
 	t.SetArgs(v)
 	t.Execute()
 }
@@ -161,8 +161,8 @@ func MulRows(m *Matrix, s *Array) {
 	})
 	vm := t.AddInOut(m.region)
 	vs := t.AddInput(s.region)
-	t.UsePartition(vm, m.RowPartition(m.rt.NumProcs()))
-	t.UsePartition(vs, m.rt.PartitionByRects(s.region, rowVecRects(m.rows, int64(m.rt.NumProcs()))))
+	t.UsePartition(vm, m.RowPartition(m.rt.LaunchDomain()))
+	t.UsePartition(vs, m.rt.PartitionByRects(s.region, rowVecRects(m.rows, int64(m.rt.LaunchDomain()))))
 	t.Execute()
 }
 
@@ -215,7 +215,7 @@ func (m *Matrix) Transpose() *Matrix {
 	})
 	vOut := t.AddOutput(out.region)
 	vIn := t.AddInput(m.region)
-	t.UsePartition(vOut, out.RowPartition(m.rt.NumProcs()))
+	t.UsePartition(vOut, out.RowPartition(m.rt.LaunchDomain()))
 	t.Broadcast(vIn)
 	t.SetArgs([2]int64{m.rows, m.cols})
 	t.Execute()

@@ -1,0 +1,259 @@
+// Package fault provides a deterministic, seeded fault injector for the
+// Legion runtime simulation. An Injector carries two kinds of schedule:
+//
+//   - point faults: a specific point task of a specific launch-stream
+//     position panics (or, with SetRate, a seeded pseudo-random fraction
+//     of all point tasks does), modeling transient kernel failures;
+//   - processor kills: processor N is declared dead once the simulated
+//     clock reaches time T, modeling permanent hardware loss.
+//
+// Every decision is a pure function of the injector's seed and the
+// (stream, point) coordinates the runtime hands it, so a given schedule
+// reproduces exactly across runs — the property the chaos tests rely on
+// to compare a faulty run bit-for-bit against a fault-free one. Fired
+// faults are one-shot: a replayed point task does not fail again, which
+// is what lets checkpoint/replay recovery make forward progress.
+//
+// The package deliberately depends only on internal/machine; the legion
+// package consumes it through the small legion.FaultInjector interface,
+// so tests and benches can also plug in hand-rolled injectors.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// PointKey identifies one point task of one launch by its position in
+// the runtime's launch stream (1-based; assigned by the runtime when
+// checkpointing or fault injection is enabled) and its point index.
+type PointKey struct {
+	Stream int64
+	Point  int
+}
+
+type procKill struct {
+	proc  machine.ProcID
+	at    time.Duration
+	fired bool
+}
+
+// Injector is a deterministic fault schedule. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use —
+// the runtime consults ShouldFail from worker goroutines.
+type Injector struct {
+	mu   sync.Mutex
+	seed uint64
+
+	scheduled map[PointKey]struct{} // explicit point-fault schedule
+	fired     map[PointKey]struct{} // one-shot memory: never refire
+	rate      float64               // pseudo-random per-point failure probability
+	rateMax   int                   // cap on random fires (0 = unlimited)
+	rateFired int
+
+	procs []procKill
+
+	pointFired int // total point faults delivered
+}
+
+// New returns an empty injector with the given seed. The seed only
+// matters for SetRate-style random faults; explicit schedules fire
+// regardless of it.
+func New(seed uint64) *Injector {
+	return &Injector{
+		seed:      seed,
+		scheduled: make(map[PointKey]struct{}),
+		fired:     make(map[PointKey]struct{}),
+	}
+}
+
+// KillPoint schedules the point task at (stream, point) to panic the
+// first time it runs. Stream positions are 1-based and count every
+// launch issued after the injector (and checkpointing) was attached.
+func (in *Injector) KillPoint(stream int64, point int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.scheduled[PointKey{stream, point}] = struct{}{}
+	return in
+}
+
+// KillProc schedules processor p to die once the simulated clock
+// reaches at. The runtime observes the death at its next launch or
+// fence boundary, after quiescing in-flight work.
+func (in *Injector) KillProc(p machine.ProcID, at time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.procs = append(in.procs, procKill{proc: p, at: at})
+	return in
+}
+
+// SetRate makes every point task fail independently with probability
+// rate, derived from the injector seed — the schedule is fixed at
+// construction time even though it looks random. max bounds the total
+// number of random faults (0 = unbounded). Explicit KillPoint faults
+// are unaffected.
+func (in *Injector) SetRate(rate float64, max int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rate = rate
+	in.rateMax = max
+	return in
+}
+
+// ShouldFail reports whether the point task at (stream, point) must
+// fail now. A true result is consumed: the same coordinates never fire
+// twice, so recovery replay is not re-killed by the same fault.
+func (in *Injector) ShouldFail(stream int64, point int) bool {
+	if stream <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	k := PointKey{stream, point}
+	if _, done := in.fired[k]; done {
+		return false
+	}
+	if _, ok := in.scheduled[k]; ok {
+		in.fired[k] = struct{}{}
+		in.pointFired++
+		return true
+	}
+	if in.rate > 0 && (in.rateMax <= 0 || in.rateFired < in.rateMax) &&
+		hash01(in.seed, uint64(stream), uint64(point)) < in.rate {
+		in.fired[k] = struct{}{}
+		in.rateFired++
+		in.pointFired++
+		return true
+	}
+	return false
+}
+
+// DeadProcs returns the processors whose scheduled kill time has been
+// reached at simulated time now. Each kill is reported exactly once;
+// the runtime is expected to retire the processor on receipt.
+func (in *Injector) DeadProcs(now time.Duration) []machine.ProcID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []machine.ProcID
+	for i := range in.procs {
+		pk := &in.procs[i]
+		if !pk.fired && now >= pk.at {
+			pk.fired = true
+			out = append(out, pk.proc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PointFaults returns how many point faults have fired so far.
+func (in *Injector) PointFaults() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.pointFired
+}
+
+// ProcKills returns how many scheduled processor kills have fired.
+func (in *Injector) ProcKills() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for i := range in.procs {
+		if in.procs[i].fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Parse builds an injector from a comma-separated schedule spec, the
+// format accepted by legate-bench's -faults flag:
+//
+//	point@S:P      kill point P of the S-th launch (1-based stream position)
+//	proc@N:DUR     kill processor N at simulated time DUR (Go duration, e.g. 200us)
+//	rate:R[:MAX]   every point fails with probability R, at most MAX times
+//
+// Example: "point@40:2,proc@1:500us,rate:0.001:3".
+func Parse(spec string, seed uint64) (*Injector, error) {
+	in := New(seed)
+	if strings.TrimSpace(spec) == "" {
+		return in, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(tok, "point@"):
+			parts := strings.SplitN(tok[len("point@"):], ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("fault: bad point spec %q (want point@STREAM:POINT)", tok)
+			}
+			s, err1 := strconv.ParseInt(parts[0], 10, 64)
+			p, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil || s <= 0 || p < 0 {
+				return nil, fmt.Errorf("fault: bad point spec %q", tok)
+			}
+			in.KillPoint(s, p)
+		case strings.HasPrefix(tok, "proc@"):
+			parts := strings.SplitN(tok[len("proc@"):], ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("fault: bad proc spec %q (want proc@ID:DURATION)", tok)
+			}
+			id, err1 := strconv.Atoi(parts[0])
+			at, err2 := time.ParseDuration(parts[1])
+			if err1 != nil || err2 != nil || id < 0 || at < 0 {
+				return nil, fmt.Errorf("fault: bad proc spec %q", tok)
+			}
+			in.KillProc(machine.ProcID(id), at)
+		case strings.HasPrefix(tok, "rate:"):
+			parts := strings.Split(tok[len("rate:"):], ":")
+			if len(parts) < 1 || len(parts) > 2 {
+				return nil, fmt.Errorf("fault: bad rate spec %q (want rate:R[:MAX])", tok)
+			}
+			r, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil || r < 0 || r > 1 {
+				return nil, fmt.Errorf("fault: bad rate spec %q", tok)
+			}
+			max := 0
+			if len(parts) == 2 {
+				if max, err = strconv.Atoi(parts[1]); err != nil || max < 0 {
+					return nil, fmt.Errorf("fault: bad rate spec %q", tok)
+				}
+			}
+			in.SetRate(r, max)
+		default:
+			return nil, fmt.Errorf("fault: unknown schedule token %q", tok)
+		}
+	}
+	return in, nil
+}
+
+// RateForMTBF converts a mean-time-between-failures expressed in
+// launches into a per-point failure probability, given the typical
+// number of points per launch.
+func RateForMTBF(mtbfLaunches float64, pointsPerLaunch int) float64 {
+	if mtbfLaunches <= 0 || pointsPerLaunch <= 0 {
+		return 0
+	}
+	return 1 / (mtbfLaunches * float64(pointsPerLaunch))
+}
+
+// hash01 maps (seed, stream, point) to [0, 1) with a splitmix64-style
+// finalizer, the same construction internal/cunumeric uses for its
+// partition-independent random arrays.
+func hash01(seed, stream, point uint64) float64 {
+	x := seed ^ stream*0x9e3779b97f4a7c15 ^ point*0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+func TestScheduledPointFaultIsOneShot(t *testing.T) {
+	in := New(1).KillPoint(7, 2)
+	if in.ShouldFail(7, 1) {
+		t.Fatal("unscheduled point fired")
+	}
+	if !in.ShouldFail(7, 2) {
+		t.Fatal("scheduled point did not fire")
+	}
+	if in.ShouldFail(7, 2) {
+		t.Fatal("scheduled point fired twice; replay would never converge")
+	}
+	if got := in.PointFaults(); got != 1 {
+		t.Fatalf("PointFaults = %d, want 1", got)
+	}
+}
+
+func TestRateIsDeterministicAcrossInjectors(t *testing.T) {
+	a := New(99).SetRate(0.05, 0)
+	b := New(99).SetRate(0.05, 0)
+	fired := 0
+	for s := int64(1); s <= 200; s++ {
+		for p := 0; p < 4; p++ {
+			fa, fb := a.ShouldFail(s, p), b.ShouldFail(s, p)
+			if fa != fb {
+				t.Fatalf("same seed diverged at stream %d point %d", s, p)
+			}
+			if fa {
+				fired++
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("rate 0.05 over 800 points fired nothing")
+	}
+	// A different seed must give a different schedule.
+	c := New(100).SetRate(0.05, 0)
+	same := true
+	for s := int64(1); s <= 200 && same; s++ {
+		for p := 0; p < 4; p++ {
+			if c.ShouldFail(s, p) != a.ShouldFail(s, p) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 99 and 100 produced identical schedules")
+	}
+}
+
+func TestRateMaxBoundsFires(t *testing.T) {
+	in := New(3).SetRate(1, 2)
+	n := 0
+	for s := int64(1); s <= 50; s++ {
+		if in.ShouldFail(s, 0) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("rate max 2 fired %d times", n)
+	}
+}
+
+func TestStreamZeroNeverFails(t *testing.T) {
+	in := New(4).SetRate(1, 0)
+	if in.ShouldFail(0, 0) || in.ShouldFail(-1, 3) {
+		t.Fatal("unlogged launches (stream <= 0) must never be injected")
+	}
+}
+
+func TestDeadProcsFireOnceAtTheirTime(t *testing.T) {
+	in := New(5).KillProc(2, 100*time.Microsecond).KillProc(5, 300*time.Microsecond)
+	if got := in.DeadProcs(50 * time.Microsecond); len(got) != 0 {
+		t.Fatalf("premature kill: %v", got)
+	}
+	got := in.DeadProcs(150 * time.Microsecond)
+	if len(got) != 1 || got[0] != machine.ProcID(2) {
+		t.Fatalf("DeadProcs(150us) = %v, want [2]", got)
+	}
+	if got := in.DeadProcs(200 * time.Microsecond); len(got) != 0 {
+		t.Fatalf("proc kill fired twice: %v", got)
+	}
+	got = in.DeadProcs(time.Millisecond)
+	if len(got) != 1 || got[0] != machine.ProcID(5) {
+		t.Fatalf("DeadProcs(1ms) = %v, want [5]", got)
+	}
+	if in.ProcKills() != 2 {
+		t.Fatalf("ProcKills = %d, want 2", in.ProcKills())
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("point@40:2, proc@1:500us, rate:0.25:3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.ShouldFail(40, 2) {
+		t.Fatal("parsed point fault did not fire")
+	}
+	if got := in.DeadProcs(time.Millisecond); len(got) != 1 || got[0] != machine.ProcID(1) {
+		t.Fatalf("parsed proc kill = %v", got)
+	}
+	if in.rate != 0.25 || in.rateMax != 3 {
+		t.Fatalf("parsed rate = %v max %d", in.rate, in.rateMax)
+	}
+	if _, err := Parse("", 0); err != nil {
+		t.Fatalf("empty spec should parse: %v", err)
+	}
+	for _, bad := range []string{"point@x:1", "proc@1", "rate:2", "nonsense", "point@0:1"} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestRateForMTBF(t *testing.T) {
+	if got := RateForMTBF(100, 4); got != 1.0/400 {
+		t.Fatalf("RateForMTBF(100,4) = %v", got)
+	}
+	if RateForMTBF(0, 4) != 0 || RateForMTBF(10, 0) != 0 {
+		t.Fatal("degenerate MTBF inputs must give rate 0")
+	}
+}

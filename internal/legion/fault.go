@@ -1,0 +1,613 @@
+package legion
+
+// Fault tolerance for the launch stream. The paper's premise (§2.2,
+// §4.3) is that a sequential task stream plus dynamic dependence
+// analysis gives the runtime global knowledge of what every task reads
+// and writes; this file uses that knowledge for recovery-by-replay:
+//
+//   - Kernel panics (real bugs, or faults injected through an attached
+//     FaultInjector) are recovered on the worker and recorded as point
+//     failures instead of killing the process.
+//   - With EnableCheckpointing(N), the runtime keeps a bounded log of
+//     the launch stream and an incremental checkpoint of region state:
+//     the first launch to write a region in an epoch snapshots it. Every
+//     N launches the epoch closes — the runtime quiesces, resolves any
+//     outstanding failures, and discards the log and snapshots.
+//   - On failure the runtime restores the epoch's snapshots and replays
+//     the logged suffix sequentially on the application goroutine,
+//     re-running the original member launches (a failure inside a fused
+//     launch therefore replays its members individually). Reduction
+//     futures are recomputed from per-point partials summed in point
+//     order, so replayed results are bit-identical to a fault-free run.
+//   - A processor kill retires the processor: the mapper evicts its
+//     allocations, the runtime shrinks its processor set (points
+//     round-robin onto survivors; the launch domain itself is stable —
+//     see LaunchDomain), and with checkpointing on, the open epoch is
+//     recomputed on the survivors.
+//
+// Checkpoint writes are charged to the analysis pipeline (they overlap
+// compute like an asynchronous burst buffer); restores and epoch commits
+// are stop-the-world barriers on the simulated clock. internal/bench
+// reports both as the recovery-overhead ablation.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/machine"
+)
+
+// FaultInjector is the runtime's view of a fault schedule (implemented
+// by internal/fault.Injector). ShouldFail is consulted once per point
+// task execution, keyed by the launch's stream position; DeadProcs is
+// polled at launch and fence boundaries with the current simulated time.
+// Implementations must be safe for concurrent use and one-shot per
+// fault, or recovery replay would re-kill the task it is recovering.
+type FaultInjector interface {
+	ShouldFail(stream int64, point int) bool
+	DeadProcs(now time.Duration) []machine.ProcID
+}
+
+// TaskPanicError reports a point task whose kernel panicked. With
+// checkpointing enabled the runtime recovers these transparently; without
+// it (or when recovery is exhausted) the error becomes the runtime's
+// sticky Err.
+type TaskPanicError struct {
+	Task  string
+	Point int
+	Value any
+}
+
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("legion: task %q point %d panicked: %v", e.Task, e.Point, e.Value)
+}
+
+// InjectedFault is the panic value raised by fault injection, so tests
+// and logs can tell injected faults from real kernel bugs.
+type InjectedFault struct {
+	Stream int64
+	Point  int
+}
+
+func (f InjectedFault) String() string {
+	return fmt.Sprintf("injected fault at launch %d point %d", f.Stream, f.Point)
+}
+
+// maxRecoveryAttempts bounds restore+replay passes per recovery: a
+// deterministic kernel bug re-fires on every replay, and after this many
+// attempts it becomes the sticky error instead of an infinite loop.
+const maxRecoveryAttempts = 3
+
+// pointFailure is one recorded kernel failure awaiting recovery.
+type pointFailure struct {
+	task  string
+	point int
+	err   error
+}
+
+// ftLogEntry is one logged launch of the current checkpoint epoch. It
+// keeps the original (pre-fusion) Launch so replay re-executes members
+// individually, and the Future so replay can re-publish reduction values.
+type ftLogEntry struct {
+	launch *Launch
+	stream int64
+	fut    *Future
+}
+
+// state returns the launchState the entry's future resolved to. By the
+// time recovery runs the stream is flushed, so this never blocks.
+func (e *ftLogEntry) state() *launchState {
+	f := e.fut
+	if f == nil {
+		return nil
+	}
+	if f.launch != nil {
+		return f.launch
+	}
+	if f.pend != nil {
+		return f.pend.ls
+	}
+	return nil
+}
+
+// regionSnap is the checkpointed contents of one region.
+type regionSnap struct {
+	region *Region
+	f64    []float64
+	i64    []int64
+	rect   []geometry.Rect
+	c128   []complex128
+}
+
+func snapshotOf(r *Region) *regionSnap {
+	s := &regionSnap{region: r}
+	switch r.typ {
+	case Float64:
+		s.f64 = append([]float64(nil), r.f64...)
+	case Int64:
+		s.i64 = append([]int64(nil), r.i64...)
+	case RectType:
+		s.rect = append([]geometry.Rect(nil), r.rect...)
+	case Complex128:
+		s.c128 = append([]complex128(nil), r.c128...)
+	}
+	return s
+}
+
+func (s *regionSnap) restore() {
+	switch s.region.typ {
+	case Float64:
+		copy(s.region.f64, s.f64)
+	case Int64:
+		copy(s.region.i64, s.i64)
+	case RectType:
+		copy(s.region.rect, s.rect)
+	case Complex128:
+		copy(s.region.c128, s.c128)
+	}
+}
+
+// ftState is the runtime's checkpoint/replay state. All fields except
+// failed/needRec (written by worker goroutines) are touched only on the
+// application goroutine.
+type ftState struct {
+	every     int // launches per checkpoint epoch
+	sinceCkpt int
+	log       []*ftLogEntry
+	snaps     map[RegionID]*regionSnap
+
+	failMu  sync.Mutex
+	failed  []pointFailure
+	needRec atomic.Bool
+}
+
+// SetFaultInjector attaches a fault schedule to the runtime. It fences
+// first: worker goroutines read the injector without locks, so it must
+// be in place before the launches it applies to are issued.
+func (rt *Runtime) SetFaultInjector(fi FaultInjector) {
+	rt.Fence()
+	rt.faultInj = fi
+}
+
+// EnableCheckpointing turns on launch-stream logging and periodic region
+// checkpoints with an epoch of `every` launches; every <= 0 disables
+// recovery (kernel panics then become sticky errors). It fences first,
+// so the first epoch starts from quiescent, fully-materialized state.
+func (rt *Runtime) EnableCheckpointing(every int) {
+	rt.Fence()
+	if every <= 0 {
+		rt.ft = nil
+		return
+	}
+	rt.ft = &ftState{every: every, snaps: map[RegionID]*regionSnap{}}
+}
+
+// CheckpointEvery returns the current checkpoint epoch length (0 when
+// checkpointing is disabled).
+func (rt *Runtime) CheckpointEvery() int {
+	if rt.ft == nil {
+		return 0
+	}
+	return rt.ft.every
+}
+
+// LaunchDomain returns the default launch-domain size for distributed
+// operations (what the constraint solver and the libraries partition
+// over). It starts equal to NumProcs but — unlike NumProcs — does NOT
+// shrink when a processor dies: a stable domain preserves the grouping
+// of reduction partial sums, which is what keeps recovered results
+// bit-identical to a fault-free run. Surviving processors simply pick up
+// the orphaned points round-robin. Use Rescale to change it explicitly.
+func (rt *Runtime) LaunchDomain() int { return rt.domain }
+
+// Rescale fences and re-targets the default launch domain to n points
+// (n <= 0 means the current processor count) — typically called after
+// processor loss, when the caller prefers a repartitioned steady state
+// over bit-stable results. Key partitions and cached partitions with a
+// different color count are invalidated so the constraint solver's next
+// per-op solve rebuilds them at the new width.
+func (rt *Runtime) Rescale(n int) {
+	rt.Fence()
+	if n <= 0 {
+		n = len(rt.procs)
+	}
+	rt.domain = n
+	rt.mu.Lock()
+	for _, st := range rt.regions {
+		if st.region != nil && st.region.keyPartition != nil && st.region.keyPartition.Colors() != n {
+			st.region.keyPartition = nil
+		}
+	}
+	for k := range rt.partCache {
+		if k.colors != n {
+			delete(rt.partCache, k)
+		}
+	}
+	rt.imageCache = map[imageKey]*Partition{}
+	rt.alignCache = map[alignKey]*Partition{}
+	rt.mu.Unlock()
+}
+
+// preLaunch runs the fault-tolerance protocol for a launch about to be
+// issued (or buffered for fusion): observe processor deaths, resolve
+// outstanding failures, roll the checkpoint epoch, snapshot regions this
+// launch writes for the first time in the epoch, and log the launch.
+// Returns the log entry (nil when checkpointing is off) so Execute can
+// attach the launch's Future for replay.
+func (rt *Runtime) preLaunch(l *Launch) *ftLogEntry {
+	rt.checkProcDeaths()
+	rt.maybeRecover()
+	ft := rt.ft
+	if ft == nil {
+		return nil
+	}
+	if ft.sinceCkpt >= ft.every {
+		rt.takeCheckpoint()
+	}
+	ft.sinceCkpt++
+	for _, rq := range l.reqs {
+		if rq.priv.writes() {
+			rt.snapshotRegion(rq.region)
+		}
+	}
+	e := &ftLogEntry{launch: l, stream: l.stream}
+	ft.log = append(ft.log, e)
+	return e
+}
+
+// snapshotRegion checkpoints r if this epoch has not already done so.
+// No quiescing is needed: a first write this epoch implies no in-flight
+// launch of this epoch writes r (it would have snapshotted it), and the
+// previous epoch was quiesced at its checkpoint — so r's contents are
+// stable and concurrent readers don't conflict with the copy.
+func (rt *Runtime) snapshotRegion(r *Region) {
+	ft := rt.ft
+	if _, ok := ft.snaps[r.id]; ok {
+		return
+	}
+	ft.snaps[r.id] = snapshotOf(r)
+	n := r.Bytes()
+	rt.stats.CheckpointBytes.Add(n)
+	// Checkpoint writes stream out asynchronously: charge the analysis
+	// pipeline, not the processor timelines.
+	rt.mu.Lock()
+	rt.analysisClock += rt.cost.CheckpointTime(n)
+	rt.mu.Unlock()
+}
+
+// takeCheckpoint closes the current epoch: quiesce, resolve any
+// outstanding failures against the epoch being discarded, then drop the
+// log and snapshots and charge the epoch-commit barrier.
+func (rt *Runtime) takeCheckpoint() {
+	ft := rt.ft
+	rt.FlushFusion()
+	rt.pending.Wait()
+	rt.maybeRecover()
+	ft.log = nil
+	ft.snaps = map[RegionID]*regionSnap{}
+	ft.sinceCkpt = 0
+	rt.stats.Checkpoints.Add(1)
+	rt.chargeBarrier(rt.cost.CheckpointLatency)
+}
+
+// notePointFailure records a kernel failure for deferred recovery; it
+// returns false when recovery is disabled (the caller then raises the
+// sticky error instead). Called from worker goroutines.
+func (rt *Runtime) notePointFailure(ls *launchState, point int, err error) bool {
+	ft := rt.ft
+	if ft == nil {
+		return false
+	}
+	ft.failMu.Lock()
+	ft.failed = append(ft.failed, pointFailure{task: ls.name, point: point, err: err})
+	ft.failMu.Unlock()
+	ft.needRec.Store(true)
+	return true
+}
+
+// maybeRecover resolves outstanding point failures: quiesce, restore the
+// epoch checkpoint, and replay the logged suffix. It is called at every
+// synchronization point an application can observe results through —
+// launch issue, Fence, Future reads, trace boundaries, checkpoint
+// boundaries — and is a cheap no-op when nothing failed.
+func (rt *Runtime) maybeRecover() {
+	ft := rt.ft
+	if ft == nil || !ft.needRec.Load() {
+		return
+	}
+	rt.FlushFusion()
+	rt.pending.Wait()
+	ft.failMu.Lock()
+	failures := ft.failed
+	ft.failed = nil
+	ft.needRec.Store(false)
+	ft.failMu.Unlock()
+	if len(failures) == 0 || rt.errSet() {
+		return
+	}
+	rt.recoverEpoch(failures[0].err)
+}
+
+// recoverEpoch restores the last checkpoint and replays the logged
+// launches, retrying if replay itself hits (new, one-shot) faults; a
+// fault that persists across maxRecoveryAttempts replays is a
+// deterministic bug and becomes the sticky error. Runs on the
+// application goroutine with all workers quiescent.
+func (rt *Runtime) recoverEpoch(cause error) {
+	for attempt := 1; attempt <= maxRecoveryAttempts; attempt++ {
+		rt.restoreCheckpoint()
+		ok, err := rt.replayLog()
+		if ok {
+			return
+		}
+		cause = err
+	}
+	if cause == nil {
+		cause = errors.New("persistent fault")
+	}
+	rt.setErr(fmt.Errorf("legion: recovery abandoned after %d attempts: %w", maxRecoveryAttempts, cause))
+}
+
+// restoreCheckpoint copies the epoch's snapshots back into their regions
+// and charges the stop-the-world restore to every processor timeline.
+func (rt *Runtime) restoreCheckpoint() {
+	ft := rt.ft
+	rt.stats.Restores.Add(1)
+	var bytes int64
+	for _, s := range ft.snaps {
+		s.restore()
+		bytes += s.region.Bytes()
+	}
+	rt.stats.RestoredBytes.Add(bytes)
+	rt.chargeBarrier(rt.cost.CheckpointTime(bytes))
+}
+
+// replayLog re-executes the epoch's logged launches in program order.
+// It returns ok=false (with the failure) if a replayed kernel panicked —
+// the caller restores and retries — and ok=true either on success or
+// when a sticky error (e.g. OOM during re-mapping) ends recovery.
+func (rt *Runtime) replayLog() (ok bool, failure error) {
+	for _, e := range rt.ft.log {
+		if err := rt.replayEntry(e); err != nil {
+			return false, err
+		}
+		if rt.errSet() {
+			return true, nil
+		}
+	}
+	return true, nil
+}
+
+// replayEntry re-executes one logged launch sequentially: every point is
+// re-mapped (charging coherence copies) and its kernel re-run on the
+// processor it now maps to, with kernel and overhead time charged to
+// that processor's timeline. Reduction futures are re-published from
+// partials summed in point order — the same order completeLaunch uses —
+// so replayed values match a fault-free run exactly.
+func (rt *Runtime) replayEntry(e *ftLogEntry) error {
+	l := e.launch
+	ls := e.state()
+	rt.stats.ReplayedLaunches.Add(1)
+	rt.mu.Lock()
+	rt.analysisClock += rt.analysisCost(l.points)
+	rt.mu.Unlock()
+
+	partials := make([]float64, l.points)
+	hasPartial := false
+	for p := 0; p < l.points; p++ {
+		rt.stats.ReplayedPoints.Add(1)
+		proc := rt.replayProc(l, p)
+		subs := subspacesFor(l.reqs, p)
+		var copyTime time.Duration
+		for i, rq := range l.reqs {
+			res, err := rt.map_.mapRequirement(proc, rq.region, subs[i], rq.priv)
+			if err != nil {
+				rt.setErr(err)
+				return nil // sticky error; recovery ends
+			}
+			copyTime += res.copyTime
+		}
+		work, partial, hasP, err := rt.replayKernel(l, ls, e.stream, p, subs)
+		if err != nil {
+			rt.stats.PointFailures.Add(1)
+			return err
+		}
+		if hasP {
+			partials[p] = partial
+			hasPartial = true
+		}
+		if l.workFn != nil {
+			work = l.workFn(p)
+		}
+		kind := rt.mach.Proc(proc).Kind
+		rt.chargeProc(proc, rt.cost.PointOverhead+copyTime+rt.cost.KernelTime(kind, l.opClass, work))
+	}
+	if hasPartial && ls != nil {
+		var sum float64
+		for _, v := range partials {
+			sum += v
+		}
+		ls.reduced.Store(sum)
+	}
+	return nil
+}
+
+// replayKernel runs one point's kernel during replay under the same
+// recover barrier and fault injection as normal execution.
+func (rt *Runtime) replayKernel(l *Launch, ls *launchState, stream int64, point int, subs []geometry.IntervalSet) (work int64, partial float64, hasPartial bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TaskPanicError{Task: l.name, Point: point, Value: r}
+		}
+	}()
+	rt.injectFault(stream, point)
+	ctx := &TaskContext{launch: ls, point: point, subs: subs, reqs: l.reqs, args: l.args}
+	l.kernel(ctx)
+	work = ctx.work
+	if work == 0 {
+		work = defaultWork(l.reqs, subs)
+	}
+	return work, ctx.partial, ctx.hasPartial, nil
+}
+
+// replayProc maps a replayed point onto the current (possibly shrunken)
+// processor set, honoring a MapPoints override.
+func (rt *Runtime) replayProc(l *Launch, p int) machine.ProcID {
+	if l.procMap != nil {
+		i := l.procMap(p) % len(rt.procs)
+		if i < 0 {
+			i += len(rt.procs)
+		}
+		return rt.procs[i]
+	}
+	return rt.procs[p%len(rt.procs)]
+}
+
+// injectFault panics with an InjectedFault if the attached injector
+// schedules a failure for this (stream, point). Runs on worker
+// goroutines; the injector is attached before launches are issued.
+func (rt *Runtime) injectFault(stream int64, point int) {
+	fi := rt.faultInj
+	if fi == nil {
+		return
+	}
+	if fi.ShouldFail(stream, point) {
+		panic(InjectedFault{Stream: stream, Point: point})
+	}
+}
+
+// checkProcDeaths polls the injector for processors whose kill time has
+// passed on the simulated clock and retires them: quiesce, evict their
+// allocations, shrink the processor set, and — with checkpointing on —
+// recompute the open epoch on the survivors. Without checkpointing this
+// is pure degradation (the shared store means no data was lost, only
+// modeled residency). Called at launch and fence boundaries on the
+// application goroutine.
+func (rt *Runtime) checkProcDeaths() {
+	fi := rt.faultInj
+	if fi == nil {
+		return
+	}
+	dead := fi.DeadProcs(rt.peekSimTime())
+	if len(dead) == 0 {
+		return
+	}
+	rt.FlushFusion()
+	rt.pending.Wait()
+	retired := 0
+	for _, p := range dead {
+		if rt.retireProc(p) {
+			retired++
+		}
+	}
+	if retired == 0 {
+		return
+	}
+	rt.stats.ProcsLost.Add(int64(retired))
+	if len(rt.procs) == 0 {
+		rt.setErr(errors.New("legion: all processors lost"))
+		return
+	}
+	if ft := rt.ft; ft != nil {
+		// One recovery pass covers both the epoch's point failures (if
+		// any) and the re-homing of work the dead processor ran.
+		ft.failMu.Lock()
+		ft.failed = nil
+		ft.needRec.Store(false)
+		ft.failMu.Unlock()
+		if !rt.errSet() {
+			rt.recoverEpoch(nil)
+		}
+	}
+}
+
+// retireProc removes p from the runtime: its worker stops, its queue is
+// already empty (callers quiesce first), and the mapper forgets its
+// allocations. Returns false if p was not a live processor.
+func (rt *Runtime) retireProc(p machine.ProcID) bool {
+	idx := -1
+	for i, q := range rt.procs {
+		if q == p {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	rt.procs = append(rt.procs[:idx], rt.procs[idx+1:]...)
+	if w := rt.workers[p]; w != nil {
+		w.stop()
+		delete(rt.workers, p)
+	}
+	rt.map_.evictProcessor(p)
+	rt.simMu.Lock()
+	delete(rt.procBusy, p)
+	rt.simMu.Unlock()
+	return true
+}
+
+// chargeProc advances one processor's simulated timeline by dt.
+func (rt *Runtime) chargeProc(proc machine.ProcID, dt time.Duration) {
+	rt.simMu.Lock()
+	t := rt.procBusy[proc] + dt
+	rt.procBusy[proc] = t
+	if t > rt.simMax {
+		rt.simMax = t
+	}
+	rt.simMu.Unlock()
+}
+
+// chargeBarrier advances every processor to the common time
+// max(timelines)+dt — the shape of a stop-the-world event (checkpoint
+// commit, restore).
+func (rt *Runtime) chargeBarrier(dt time.Duration) {
+	rt.simMu.Lock()
+	var t time.Duration
+	for _, p := range rt.procs {
+		if rt.procBusy[p] > t {
+			t = rt.procBusy[p]
+		}
+	}
+	t += dt
+	for _, p := range rt.procs {
+		rt.procBusy[p] = t
+	}
+	if t > rt.simMax {
+		rt.simMax = t
+	}
+	rt.simMu.Unlock()
+}
+
+// peekSimTime is SimTime without the fusion flush: the furthest point on
+// any timeline, used for death polling at launch boundaries.
+func (rt *Runtime) peekSimTime() time.Duration {
+	rt.simMu.Lock()
+	t := rt.simMax
+	for _, b := range rt.procBusy {
+		if b > t {
+			t = b
+		}
+	}
+	rt.simMu.Unlock()
+	rt.mu.Lock()
+	if rt.analysisClock > t {
+		t = rt.analysisClock
+	}
+	rt.mu.Unlock()
+	return t
+}
+
+// pointBackstop converts a panic that escaped runPoint's own handling
+// (runtime bookkeeping, not the kernel — execPoint recovers those) into
+// a sticky error and finalizes the point so Fence cannot hang.
+func (rt *Runtime) pointBackstop(ls *launchState, point int, rec any) {
+	rt.setErr(&TaskPanicError{Task: ls.name, Point: point, Value: rec})
+	if ls.remaining.Add(-1) == 0 {
+		rt.completeLaunch(ls)
+	}
+}

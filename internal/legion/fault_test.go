@@ -1,0 +1,350 @@
+package legion
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+)
+
+// TestKernelPanicBecomesStickyErr: without checkpointing, a panicking
+// kernel must not kill the process — it becomes the runtime's sticky
+// error, naming the task and point.
+func TestKernelPanicBecomesStickyErr(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	r := rt.CreateRegion("v", 64, Float64)
+	part := rt.BlockPartition(r, 4)
+	l := rt.NewLaunch("boom", 4, func(tc *TaskContext) {
+		if tc.Point() == 2 {
+			panic("kaboom")
+		}
+	})
+	l.Add(r, part, ReadWrite)
+	l.Execute()
+	rt.Fence()
+	err := rt.Err()
+	if err == nil {
+		t.Fatal("kernel panic must surface as a sticky error")
+	}
+	var pe *TaskPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type = %T, want *TaskPanicError", err)
+	}
+	if pe.Task != "boom" || pe.Point != 2 {
+		t.Fatalf("error = %v, want task boom point 2", err)
+	}
+	// The runtime must remain usable for shutdown: another fence returns.
+	rt.Fence()
+}
+
+// TestInjectedFaultInFusedLaunch: fault injection addresses launches by
+// their original stream positions, so a fault aimed at a launch that
+// was fused into a larger one still fires (members keep their stream
+// numbers) and surfaces at the next fence.
+func TestInjectedFaultInFusedLaunch(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.SetFaultInjector(fault.New(1).KillPoint(2, 0))
+	r := rt.CreateRegion("v", 64, Float64)
+	part := rt.BlockPartition(r, 2)
+	for i := 0; i < 3; i++ { // fusable chain: same shape, ReadWrite on r
+		l := rt.NewLaunch("inc", 2, func(tc *TaskContext) {
+			d := tc.Float64(0)
+			tc.Subspace(0).Each(func(j int64) { d[j]++ })
+		})
+		l.Add(r, part, ReadWrite)
+		l.Execute()
+	}
+	rt.Fence()
+	err := rt.Err()
+	if err == nil {
+		t.Fatal("injected fault must surface at Fence")
+	}
+	var pe *TaskPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type = %T, want *TaskPanicError", err)
+	}
+	if _, ok := pe.Value.(InjectedFault); !ok {
+		t.Fatalf("panic value = %T (%v), want InjectedFault", pe.Value, pe.Value)
+	}
+}
+
+// TestStickyErrSurfacesFromFusionWindow: an error raised while launches
+// sit buffered in the fusion window (here a modeled OOM during mapping)
+// must surface at the next Fence, and a Future read afterwards must
+// return rather than deadlock.
+func TestStickyErrSurfacesFromFusionWindow(t *testing.T) {
+	m := machine.New(machine.Config{Nodes: 1})
+	m.Cost().MemCapacity[machine.GPU] = 1024 // 128 floats
+	rt := NewRuntime(m, m.Select(machine.GPU, 1))
+	defer rt.Shutdown()
+	big := rt.CreateRegion("big", 1000, Float64)
+	for i := 0; i < 3; i++ { // buffered in the fusion window until Fence
+		l := rt.NewLaunch("touch", 1, func(tc *TaskContext) {
+			tc.Float64(0)[0]++
+		})
+		l.AddWhole(big, ReadWrite)
+		l.Execute()
+	}
+	rt.Fence()
+	err := rt.Err()
+	if err == nil {
+		t.Fatal("OOM inside the fusion window must surface at Fence")
+	}
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("error type = %T, want *OOMError", err)
+	}
+	// A future read after the sticky error must not hang.
+	done := make(chan float64, 1)
+	go func() {
+		l := rt.NewLaunch("sum", 1, func(tc *TaskContext) { tc.Reduce(1) })
+		l.AddWhole(big, ReadOnly)
+		done <- l.Execute().Get()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Future.Get deadlocked after a sticky error")
+	}
+	if rt.Err() == nil {
+		t.Fatal("sticky error must persist")
+	}
+}
+
+// faultLoopResult is the observable outcome of the reference program of
+// the bit-identity tests: every reduction future plus the final data.
+type faultLoopResult struct {
+	dots []float64
+	x    []float64
+	err  error
+}
+
+// runFaultLoop executes 30 rounds of increment+dot on a runtime,
+// reading every future as it goes.
+func runFaultLoop(rt *Runtime) faultLoopResult {
+	const n = 1000
+	x := rt.CreateRegion("x", n, Float64)
+	part := rt.BlockPartition(x, 4)
+	var out faultLoopResult
+	for round := 0; round < 30; round++ {
+		inc := rt.NewLaunch("inc", 4, func(tc *TaskContext) {
+			d := tc.Float64(0)
+			tc.Subspace(0).Each(func(i int64) { d[i] += float64(i%13) + 0.25 })
+		})
+		inc.Add(x, part, ReadWrite)
+		inc.Execute()
+		dot := rt.NewLaunch("dot", 4, func(tc *TaskContext) {
+			d := tc.Float64(0)
+			var s float64
+			tc.Subspace(0).Each(func(i int64) { s += d[i] * d[i] })
+			tc.Reduce(s)
+		})
+		dot.Add(x, part, ReadOnly)
+		out.dots = append(out.dots, dot.Execute().GetNoSync())
+	}
+	rt.Fence()
+	out.x = append(out.x, x.Float64s()...)
+	out.err = rt.Err()
+	return out
+}
+
+// TestPointFaultRecoveryBitIdentical: killed point tasks are recovered
+// by checkpoint restore + replay, and the recovered run's futures and
+// final data match a fault-free run bit for bit.
+func TestPointFaultRecoveryBitIdentical(t *testing.T) {
+	clean := newTestRuntime(t, 4)
+	clean.EnableCheckpointing(16)
+	want := runFaultLoop(clean)
+	if want.err != nil {
+		t.Fatalf("fault-free run errored: %v", want.err)
+	}
+
+	faulty := newTestRuntime(t, 4)
+	faulty.EnableCheckpointing(16)
+	inj := fault.New(7).KillPoint(21, 2).KillPoint(40, 0).KillPoint(40, 3)
+	faulty.SetFaultInjector(inj)
+	got := runFaultLoop(faulty)
+	if got.err != nil {
+		t.Fatalf("faulty run errored: %v", got.err)
+	}
+	if inj.PointFaults() != 3 {
+		t.Fatalf("point faults fired = %d, want 3", inj.PointFaults())
+	}
+	if r := faulty.Stats().Restores.Load(); r < 1 {
+		t.Fatalf("restores = %d, want >= 1", r)
+	}
+	for i := range want.dots {
+		if got.dots[i] != want.dots[i] {
+			t.Fatalf("dot[%d]: faulty %v != clean %v (must be bit-identical)", i, got.dots[i], want.dots[i])
+		}
+	}
+	for i := range want.x {
+		if got.x[i] != want.x[i] {
+			t.Fatalf("x[%d]: faulty %v != clean %v (must be bit-identical)", i, got.x[i], want.x[i])
+		}
+	}
+}
+
+// TestProcDeathRecoveryBitIdentical: losing a whole processor mid-run
+// degrades onto the survivors without changing any result — the launch
+// domain (and with it the grouping of reduction partials) is stable.
+func TestProcDeathRecoveryBitIdentical(t *testing.T) {
+	clean := newTestRuntime(t, 4)
+	clean.EnableCheckpointing(16)
+	want := runFaultLoop(clean)
+	if want.err != nil {
+		t.Fatalf("fault-free run errored: %v", want.err)
+	}
+
+	faulty := newTestRuntime(t, 4)
+	faulty.EnableCheckpointing(16)
+	victim := faulty.Procs()[3]
+	inj := fault.New(7).KillProc(victim, 1) // fires at the first boundary past t=1ns
+	faulty.SetFaultInjector(inj)
+	got := runFaultLoop(faulty)
+	if got.err != nil {
+		t.Fatalf("faulty run errored: %v", got.err)
+	}
+	if inj.ProcKills() != 1 {
+		t.Fatal("processor kill did not fire")
+	}
+	if n := faulty.NumProcs(); n != 3 {
+		t.Fatalf("NumProcs = %d after death, want 3", n)
+	}
+	if d := faulty.LaunchDomain(); d != 4 {
+		t.Fatalf("LaunchDomain = %d after death, want stable 4", d)
+	}
+	if n := faulty.Stats().ProcsLost.Load(); n != 1 {
+		t.Fatalf("ProcsLost = %d, want 1", n)
+	}
+	for i := range want.dots {
+		if got.dots[i] != want.dots[i] {
+			t.Fatalf("dot[%d]: faulty %v != clean %v (must be bit-identical)", i, got.dots[i], want.dots[i])
+		}
+	}
+	for i := range want.x {
+		if got.x[i] != want.x[i] {
+			t.Fatalf("x[%d]: faulty %v != clean %v (must be bit-identical)", i, got.x[i], want.x[i])
+		}
+	}
+}
+
+// TestProcDeathWithoutCheckpointing: with no checkpointing at all,
+// processor loss is pure degradation — later launches run on the
+// survivors and results stay correct (the quiesce before retirement
+// means no in-flight work is lost).
+func TestProcDeathWithoutCheckpointing(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.SetFaultInjector(fault.New(1).KillProc(rt.Procs()[1], 1))
+	r := rt.CreateRegion("v", 100, Float64)
+	part := rt.BlockPartition(r, 2)
+	for round := 0; round < 5; round++ {
+		l := rt.NewLaunch("inc", 2, func(tc *TaskContext) {
+			d := tc.Float64(0)
+			tc.Subspace(0).Each(func(i int64) { d[i]++ })
+		})
+		l.Add(r, part, ReadWrite)
+		l.Execute()
+		rt.Fence()
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if n := rt.NumProcs(); n != 1 {
+		t.Fatalf("NumProcs = %d, want 1", n)
+	}
+	for i, v := range r.Float64s() {
+		if v != 5 {
+			t.Fatalf("v[%d] = %v, want 5", i, v)
+		}
+	}
+}
+
+// TestRescaleInvalidatesPartitions: Rescale re-targets the launch
+// domain and drops key partitions and cached partitions of the old
+// width, so the next solve repartitions at the new width.
+func TestRescaleInvalidatesPartitions(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	r := rt.CreateRegion("v", 64, Float64)
+	part := rt.BlockPartition(r, 2)
+	l := rt.NewLaunch("fill", 2, func(tc *TaskContext) {
+		d := tc.Float64(0)
+		tc.Subspace(0).Each(func(i int64) { d[i] = 1 })
+	})
+	l.Add(r, part, WriteDiscard)
+	l.Execute()
+	rt.Fence()
+	if r.KeyPartition() != part {
+		t.Fatal("setup: write must set the key partition")
+	}
+	rt.Rescale(1)
+	if d := rt.LaunchDomain(); d != 1 {
+		t.Fatalf("LaunchDomain = %d, want 1", d)
+	}
+	if r.KeyPartition() != nil {
+		t.Fatal("Rescale must clear key partitions of a different width")
+	}
+	if p := rt.BlockPartition(r, 2); p == part {
+		t.Fatal("Rescale must purge cached partitions of the old width")
+	}
+	rt.Rescale(0) // back to the live processor count
+	if d := rt.LaunchDomain(); d != 2 {
+		t.Fatalf("LaunchDomain after Rescale(0) = %d, want 2", d)
+	}
+}
+
+// TestRecoveryAbandonedOnPersistentFault: a kernel that fails
+// deterministically on every replay must not loop forever — after
+// maxRecoveryAttempts restores the runtime gives up with a sticky error.
+func TestRecoveryAbandonedOnPersistentFault(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.EnableCheckpointing(8)
+	r := rt.CreateRegion("v", 16, Float64)
+	l := rt.NewLaunch("alwaysboom", 2, func(tc *TaskContext) {
+		panic("deterministic bug")
+	})
+	l.Add(r, rt.BlockPartition(r, 2), ReadWrite)
+	l.Execute()
+	rt.Fence()
+	err := rt.Err()
+	if err == nil {
+		t.Fatal("persistent fault must become a sticky error")
+	}
+	if !strings.Contains(err.Error(), "recovery abandoned") {
+		t.Fatalf("error = %v, want recovery-abandoned", err)
+	}
+	if n := rt.Stats().Restores.Load(); n != maxRecoveryAttempts {
+		t.Fatalf("restores = %d, want %d (bounded attempts)", n, maxRecoveryAttempts)
+	}
+}
+
+// TestCheckpointEpochDiscardsLog: epochs cap the replay log — after
+// `every` launches the log and snapshots reset, so memory stays bounded
+// and replay never reaches past the last checkpoint.
+func TestCheckpointEpochDiscardsLog(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.EnableCheckpointing(4)
+	r := rt.CreateRegion("v", 32, Float64)
+	part := rt.BlockPartition(r, 2)
+	for i := 0; i < 20; i++ {
+		l := rt.NewLaunch("inc", 2, func(tc *TaskContext) {
+			d := tc.Float64(0)
+			tc.Subspace(0).Each(func(j int64) { d[j]++ })
+		})
+		l.Add(r, part, ReadWrite)
+		l.Execute()
+	}
+	rt.Fence()
+	if err := rt.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if n := rt.Stats().Checkpoints.Load(); n < 4 {
+		t.Fatalf("checkpoints = %d, want >= 4 (20 launches / epoch of 4)", n)
+	}
+	if got := len(rt.ft.log); got > 4 {
+		t.Fatalf("log length = %d, want <= 4 (bounded by the epoch)", got)
+	}
+}

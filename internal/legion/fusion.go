@@ -92,6 +92,7 @@ type fusedMember struct {
 	reqs   []req
 	args   any
 	workFn func(point int) int64
+	stream int64 // the member's own launch-stream position (fault/replay key)
 }
 
 // winEntry tracks one (region, partition) access pattern accumulated in
@@ -253,7 +254,7 @@ func (f *fuser) submit(buf []*Launch, futs []*Future, entries []*winEntry) {
 	}
 	members := make([]fusedMember, len(buf))
 	for i, l := range buf {
-		members[i] = fusedMember{name: l.name, kernel: l.kernel, reqs: l.reqs, args: l.args, workFn: l.workFn}
+		members[i] = fusedMember{name: l.name, kernel: l.kernel, reqs: l.reqs, args: l.args, workFn: l.workFn, stream: l.stream}
 	}
 	fl.fused = members
 	inner := rt.executeNow(fl)
@@ -281,18 +282,23 @@ func fusedName(buf []*Launch) string {
 
 // runFusedPoint executes one point of a fused launch: each member kernel
 // runs in program order against its own requirements and subspaces, and
-// the summed work estimate feeds a single kernel-time charge.
-func (ls *launchState) runFusedPoint(point int) int64 {
+// the summed work estimate feeds a single kernel-time charge. Fault
+// injection fires per member, keyed on each member's own stream
+// position; a member panic aborts the whole point (the caller records
+// one point failure) and recovery replays the members individually.
+func (rt *Runtime) runFusedPoint(ls *launchState, point int) int64 {
 	var total int64
+	var partial float64
+	var hasPartial bool
 	for mi := range ls.fused {
 		m := &ls.fused[mi]
+		rt.injectFault(m.stream, point)
 		msubs := subspacesFor(m.reqs, point)
 		ctx := &TaskContext{launch: ls, point: point, subs: msubs, reqs: m.reqs, args: m.args}
 		m.kernel(ctx)
 		if ctx.hasPartial {
-			ls.partialMu.Lock()
-			ls.partials += ctx.partial
-			ls.partialMu.Unlock()
+			partial += ctx.partial
+			hasPartial = true
 		}
 		w := ctx.work
 		if m.workFn != nil {
@@ -301,6 +307,9 @@ func (ls *launchState) runFusedPoint(point int) int64 {
 			w = defaultWork(m.reqs, msubs)
 		}
 		total += w
+	}
+	if hasPartial {
+		ls.pointPartials[point] = partial
 	}
 	return total
 }

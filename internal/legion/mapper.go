@@ -85,6 +85,7 @@ type Mapper struct {
 	mems     map[machine.ProcID]*procMemory
 	host     *procMemory
 	srcOrder map[machine.ProcID][]machine.ProcID
+	dead     map[machine.ProcID]bool // retired processors; never used as copy sources
 
 	// CoalesceThreshold is the minimum ratio of overlapping to
 	// non-overlapping indices for two views to be merged rather than
@@ -130,6 +131,22 @@ func (m *Mapper) regionDestroyed(r *Region) {
 	}
 	delete(m.host.valid, r.id)
 	delete(m.host.allocs, r.id)
+}
+
+// evictProcessor retires a dead processor: its allocations, pool, and
+// validity state are dropped (the hardware is gone, nothing to reuse)
+// and it is excluded from future coherence-copy sourcing. Indices whose
+// only valid copy lived there are re-fetched from host on next use —
+// or rewritten outright by recovery replay.
+func (m *Mapper) evictProcessor(p machine.ProcID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead == nil {
+		m.dead = map[machine.ProcID]bool{}
+	}
+	m.dead[p] = true
+	m.mems[p] = newProcMemory()
+	m.srcOrder = nil // rebuild source preferences without p
 }
 
 // mapResult summarizes the modeled data movement of mapping one region
@@ -354,7 +371,7 @@ func (m *Mapper) sourceOrder(proc machine.ProcID) []machine.ProcID {
 	}
 	var out []machine.ProcID
 	for _, p := range m.rt.mach.Procs {
-		if p.ID != proc {
+		if p.ID != proc && !m.dead[p.ID] {
 			out = append(out, p.ID)
 		}
 	}

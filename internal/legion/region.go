@@ -124,7 +124,7 @@ func (rt *Runtime) CreateRegion(name string, size int64, typ FieldType) *Region 
 	rt.mu.Lock()
 	rt.nextRegion++
 	r.id = rt.nextRegion
-	rt.regions[r.id] = &regionState{}
+	rt.regions[r.id] = &regionState{region: r}
 	rt.mu.Unlock()
 	rt.map_.regionCreated(r)
 	return r

@@ -28,6 +28,14 @@ type Runtime struct {
 	profile *Profile
 	fuser   *fuser // nil when task fusion is disabled
 
+	// Fault tolerance (see fault.go). faultInj and ft are written on the
+	// application goroutine behind a Fence, then read by workers; domain
+	// and streamPos are application-goroutine-only.
+	faultInj  FaultInjector
+	ft        *ftState
+	domain    int   // default launch-domain size; stable across proc loss
+	streamPos int64 // launches issued, the fault/replay stream position
+
 	mu            sync.Mutex
 	nextRegion    RegionID
 	nextPartition int64
@@ -53,8 +61,10 @@ type Runtime struct {
 }
 
 // regionState is the dependence-analysis state of one region: the
-// launches that last wrote it and the readers since.
+// launches that last wrote it and the readers since. The back-pointer
+// lets Rescale find and invalidate stale key partitions.
 type regionState struct {
+	region      *Region
 	lastWriters []*launchState
 	readers     []*launchState
 }
@@ -72,6 +82,7 @@ func NewRuntime(m *machine.Machine, procs []machine.ProcID) *Runtime {
 		mach:       m,
 		cost:       m.Cost(),
 		procs:      procs,
+		domain:     len(procs),
 		stats:      &machine.Stats{},
 		regions:    map[RegionID]*regionState{},
 		imageCache: map[imageKey]*Partition{},
@@ -87,7 +98,10 @@ func NewRuntime(m *machine.Machine, procs []machine.ProcID) *Runtime {
 	}
 	for _, p := range procs {
 		proc := p
-		w := newWorker(func(ls *launchState, point int) { rt.runPoint(ls, point, proc) })
+		w := newWorker(
+			func(ls *launchState, point int) { rt.runPoint(ls, point, proc) },
+			func(ls *launchState, point int, rec any) { rt.pointBackstop(ls, point, rec) },
+		)
 		rt.workers[p] = w
 		go w.run()
 	}
@@ -103,8 +117,9 @@ func (rt *Runtime) Cost() *machine.CostModel { return rt.cost }
 // Procs returns the processors this runtime schedules onto.
 func (rt *Runtime) Procs() []machine.ProcID { return rt.procs }
 
-// NumProcs returns the number of processors (the natural launch-domain
-// size for distributed operations).
+// NumProcs returns the number of *live* processors. This shrinks when a
+// processor is retired after a fault; distributed operations should size
+// their launch domains with LaunchDomain, which stays stable.
 func (rt *Runtime) NumProcs() int { return len(rt.procs) }
 
 // ProcKind returns the kind of the runtime's processors.
@@ -148,6 +163,10 @@ func (rt *Runtime) Destroy(r *Region) {
 	}
 	// Buffered launches may use the region; issue them before quiescing.
 	rt.FlushFusion()
+	// Resolve outstanding failures first: replay may still write the
+	// region, and pooling its allocations mid-recovery would skew the
+	// modeled accounting.
+	rt.maybeRecover()
 	// Quiesce: wait for every outstanding launch that reads or writes
 	// the region, so pooling its allocations cannot race with in-flight
 	// mapping (which would also make the modeled memory accounting
@@ -186,10 +205,15 @@ func (rt *Runtime) Destroy(r *Region) {
 
 // Fence blocks until every launched task has completed, like Legion's
 // execution fence. Like Execute, it must be called from the application
-// goroutine (it flushes the fusion window first).
+// goroutine (it flushes the fusion window first). A fence is also a
+// recovery point: outstanding point failures are resolved and processor
+// deaths observed before it returns, so post-fence reads see the same
+// data a fault-free run would produce.
 func (rt *Runtime) Fence() {
 	rt.FlushFusion()
 	rt.pending.Wait()
+	rt.maybeRecover()
+	rt.checkProcDeaths()
 }
 
 // Shutdown stops the worker goroutines after draining outstanding work.
@@ -211,20 +235,8 @@ func (rt *Runtime) Shutdown() {
 // processor timeline or the analysis timeline.
 func (rt *Runtime) SimTime() time.Duration {
 	rt.FlushFusion()
-	rt.simMu.Lock()
-	t := rt.simMax
-	for _, b := range rt.procBusy {
-		if b > t {
-			t = b
-		}
-	}
-	rt.simMu.Unlock()
-	rt.mu.Lock()
-	if rt.analysisClock > t {
-		t = rt.analysisClock
-	}
-	rt.mu.Unlock()
-	return t
+	rt.maybeRecover()
+	return rt.peekSimTime()
 }
 
 // ResetMetrics zeroes the simulated clocks and statistics without
@@ -346,13 +358,24 @@ func (rt *Runtime) procForPoint(ls *launchState, p int) machine.ProcID {
 // flushes it. Sequential semantics are preserved either way.
 func (l *Launch) Execute() *Future {
 	rt := l.rt
-	rt.noteWrites(l.reqs)
-	if f := rt.fuser; f != nil {
-		if fut := f.offer(l); fut != nil {
-			return fut
-		}
+	rt.streamPos++
+	l.stream = rt.streamPos
+	var entry *ftLogEntry
+	if rt.faultInj != nil || rt.ft != nil {
+		entry = rt.preLaunch(l)
 	}
-	return rt.executeNow(l)
+	rt.noteWrites(l.reqs)
+	var fut *Future
+	if f := rt.fuser; f != nil {
+		fut = f.offer(l)
+	}
+	if fut == nil {
+		fut = rt.executeNow(l)
+	}
+	if entry != nil {
+		entry.fut = fut
+	}
+	return fut
 }
 
 // noteWrites applies the program-order effects of a launch's writes that
@@ -387,8 +410,10 @@ func (rt *Runtime) executeNow(l *Launch) *Future {
 		workFn:  l.workFn,
 		fused:   l.fused,
 		procMap: l.procMap,
+		stream:  l.stream,
 		done:    make(chan struct{}),
 	}
+	ls.pointPartials = make([]float64, l.points)
 	ls.remaining.Store(int64(l.points))
 	ls.reduced.Store(float64(0))
 	rt.pending.Add(1)
@@ -535,19 +560,17 @@ func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
 
 	var work int64
 	if !failed {
-		if len(ls.fused) > 0 {
-			work = ls.runFusedPoint(point)
-		} else {
-			ctx := &TaskContext{launch: ls, point: point, subs: subs, reqs: ls.reqs, args: ls.args}
-			ls.kernel(ctx)
-			if ctx.hasPartial {
-				ls.partialMu.Lock()
-				ls.partials += ctx.partial
-				ls.partialMu.Unlock()
-			}
-			work = ctx.work
-			if work == 0 {
-				work = defaultWork(ls.reqs, subs)
+		var kerr error
+		work, kerr = rt.execPoint(ls, point, subs)
+		if kerr != nil {
+			// A panicking kernel (injected or real). With checkpointing
+			// on this becomes a recorded point failure that the next
+			// synchronization point repairs by replay; otherwise it is
+			// the runtime's sticky error. Either way the point still
+			// charges its timeline and completes, so nothing hangs.
+			rt.stats.PointFailures.Add(1)
+			if !rt.notePointFailure(ls, point, kerr) {
+				rt.setErr(kerr)
 			}
 		}
 	}
@@ -586,6 +609,32 @@ func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
 	}
 }
 
+// execPoint runs the point's kernel(s) under a recover barrier, so a
+// panicking kernel becomes a point failure instead of tearing the
+// process down. Fault injection fires here, keyed on the launch's
+// stream position (per member for a fused launch).
+func (rt *Runtime) execPoint(ls *launchState, point int, subs []geometry.IntervalSet) (work int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TaskPanicError{Task: ls.name, Point: point, Value: r}
+		}
+	}()
+	if len(ls.fused) > 0 {
+		return rt.runFusedPoint(ls, point), nil
+	}
+	rt.injectFault(ls.stream, point)
+	ctx := &TaskContext{launch: ls, point: point, subs: subs, reqs: ls.reqs, args: ls.args}
+	ls.kernel(ctx)
+	if ctx.hasPartial {
+		ls.pointPartials[point] = ctx.partial
+	}
+	work = ctx.work
+	if work == 0 {
+		work = defaultWork(ls.reqs, subs)
+	}
+	return work, nil
+}
+
 // subspacesFor materializes the index subspace of each requirement for
 // one point of the launch domain.
 func subspacesFor(reqs []req, point int) []geometry.IntervalSet {
@@ -621,9 +670,16 @@ func defaultWork(reqs []req, subs []geometry.IntervalSet) int64 {
 // completeLaunch publishes the reduction value, notifies children, and
 // releases the fence.
 func (rt *Runtime) completeLaunch(ls *launchState) {
-	ls.partialMu.Lock()
-	ls.reduced.Store(ls.partials)
-	ls.partialMu.Unlock()
+	// Sum reduction partials in point order: each point wrote only its
+	// own slot, so the result is independent of worker completion order —
+	// deterministic across runs and exactly reproducible by recovery
+	// replay (float addition is not associative; a completion-order sum
+	// would make bit-identical recovery impossible).
+	var sum float64
+	for _, v := range ls.pointPartials {
+		sum += v
+	}
+	ls.reduced.Store(sum)
 	finish := ls.finishTime()
 
 	ls.childMu.Lock()

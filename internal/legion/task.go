@@ -76,6 +76,7 @@ type Launch struct {
 	fusable bool                  // eligible for the runtime's fusion window
 	fused   []fusedMember         // set by the fuser on a fused launch
 	procMap func(point int) int   // optional point→proc override (index into Procs)
+	stream  int64                 // launch-stream position, set at Execute (fault/replay key)
 }
 
 // NewLaunch begins building an index launch of the given number of point
@@ -174,9 +175,13 @@ func (f *Future) resolve() *launchState {
 }
 
 // Get waits for the producing launch and returns the reduced value.
+// Like Fence, a future read is a recovery point: if a point task failed
+// since the last checkpoint, the suffix is replayed (correcting the
+// reduction) before the value is returned.
 func (f *Future) Get() float64 {
 	ls := f.resolve()
 	ls.wait()
+	f.rt.maybeRecover()
 	f.rt.chargeAllReduce()
 	return ls.reduced.Load().(float64)
 }
@@ -186,6 +191,7 @@ func (f *Future) Get() float64 {
 func (f *Future) GetNoSync() float64 {
 	ls := f.resolve()
 	ls.wait()
+	f.rt.maybeRecover()
 	return ls.reduced.Load().(float64)
 }
 
@@ -267,8 +273,9 @@ type launchState struct {
 	opClass machine.OpClass
 	reduce  bool
 	workFn  func(point int) int64
-	fused   []fusedMember         // non-empty for a fused launch
-	procMap func(point int) int   // optional point→proc override
+	fused   []fusedMember       // non-empty for a fused launch
+	procMap func(point int) int // optional point→proc override
+	stream  int64               // launch-stream position (0 for a fused carrier; members keep theirs)
 
 	// Dependence DAG. depCount holds remaining unfinished dependencies
 	// plus a registration guard; the launch dispatches when it hits zero.
@@ -283,10 +290,11 @@ type launchState struct {
 	done      chan struct{}
 	doneOnce  sync.Once
 
-	// Reduction result.
-	partialMu sync.Mutex
-	partials  float64
-	reduced   atomic.Value // float64
+	// Reduction result. Each point writes its own partial slot; the
+	// completing point sums the slots in point order (deterministic, and
+	// reproducible by recovery replay — see completeLaunch).
+	pointPartials []float64
+	reduced       atomic.Value // float64
 
 	// Simulated time: the launch is "issued" at issueAt on the analysis
 	// timeline; it may start once its dependencies' finish times have

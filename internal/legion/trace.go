@@ -29,6 +29,10 @@ const TraceReplayFactor = 0.1
 // during replay pays the discounted analysis cost once).
 func (rt *Runtime) BeginTrace(id int64) {
 	rt.FlushFusion()
+	// A trace boundary is a recovery point: replayed launches re-charge
+	// analysis at the runtime's *current* trace state, so failures must
+	// not leak across the boundary into a differently-discounted regime.
+	rt.maybeRecover()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.traceActive {
@@ -45,6 +49,7 @@ func (rt *Runtime) BeginTrace(id int64) {
 // EndTrace closes the current traced sequence.
 func (rt *Runtime) EndTrace() {
 	rt.FlushFusion()
+	rt.maybeRecover()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if !rt.traceActive {

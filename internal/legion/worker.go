@@ -27,10 +27,11 @@ type worker struct {
 	queue   []workItem
 	stopped bool
 	run_    func(ls *launchState, point int)
+	fail    func(ls *launchState, point int, rec any)
 }
 
-func newWorker(run func(ls *launchState, point int)) *worker {
-	w := &worker{run_: run}
+func newWorker(run func(ls *launchState, point int), fail func(ls *launchState, point int, rec any)) *worker {
+	w := &worker{run_: run, fail: fail}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
@@ -66,8 +67,22 @@ func (w *worker) run() {
 		item := w.queue[0]
 		w.queue = w.queue[1:]
 		w.mu.Unlock()
-		w.run_(item.ls, item.point)
+		w.exec(item)
 	}
+}
+
+// exec runs one point task with a last-resort panic backstop: kernel
+// panics are recovered inside runPoint (execPoint), so anything caught
+// here is a runtime bookkeeping failure — the fail callback turns it
+// into a sticky error and finalizes the point instead of killing the
+// process.
+func (w *worker) exec(item workItem) {
+	defer func() {
+		if r := recover(); r != nil && w.fail != nil {
+			w.fail(item.ls, item.point, r)
+		}
+	}()
+	w.run_(item.ls, item.point)
 }
 
 // stop shuts the worker down after outstanding work drains.

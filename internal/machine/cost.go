@@ -82,6 +82,16 @@ type CostModel struct {
 	// Legion and CUDA libraries reserve GPU memory).
 	MemCapacity map[ProcKind]int64
 
+	// CheckpointBandwidth is the bytes/second at which region snapshots
+	// are written to (and restored from) checkpoint storage; 0 disables
+	// the bandwidth term. Checkpoint writes are charged to the analysis
+	// pipeline (they overlap compute, like an async burst buffer);
+	// restores stop the world.
+	CheckpointBandwidth float64
+	// CheckpointLatency is the fixed barrier cost of closing one
+	// checkpoint epoch (quiesce + metadata commit).
+	CheckpointLatency time.Duration
+
 	// AllocStall is charged per mapped requirement while a processor's
 	// memory usage exceeds AllocStallThreshold of its capacity. It
 	// models an on-demand caching allocator (CuPy's) thrashing near the
@@ -133,7 +143,9 @@ func baseCost() CostModel {
 			NVLink:    2 * time.Microsecond,
 			InterNode: 5 * time.Microsecond,
 		},
-		MemCapacity: map[ProcKind]int64{GPU: gpuFramebuffer},
+		MemCapacity:         map[ProcKind]int64{GPU: gpuFramebuffer},
+		CheckpointBandwidth: 100e9, // NVLink-to-burst-buffer aggregate write rate
+		CheckpointLatency:   5 * time.Microsecond,
 	}
 }
 
@@ -217,6 +229,19 @@ func (c *CostModel) CopyTime(link LinkClass, n int64) time.Duration {
 		return c.Latency[link]
 	}
 	return c.Latency[link] + time.Duration(float64(n)/bw*float64(time.Second))
+}
+
+// CheckpointTime returns the modeled time to write (or read back) n
+// bytes of checkpoint data.
+func (c *CostModel) CheckpointTime(n int64) time.Duration {
+	if n <= 0 {
+		return c.CheckpointLatency
+	}
+	bw := c.CheckpointBandwidth
+	if bw <= 0 {
+		return c.CheckpointLatency
+	}
+	return c.CheckpointLatency + time.Duration(float64(n)/bw*float64(time.Second))
 }
 
 // AllReduceTime returns the modeled time for an all-reduce across p

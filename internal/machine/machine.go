@@ -227,6 +227,16 @@ type Stats struct {
 	CopiedBytes [4]atomic.Int64 // indexed by LinkClass
 	AllReduces  atomic.Int64
 	ReallocCopy atomic.Int64 // bytes copied due to allocation resizing (§4.3)
+
+	// Fault-tolerance counters.
+	PointFailures   atomic.Int64 // point tasks that panicked (injected or real)
+	ProcsLost       atomic.Int64 // processors retired after a modeled kill
+	Checkpoints     atomic.Int64 // checkpoint epochs closed
+	CheckpointBytes atomic.Int64 // bytes snapshotted into checkpoints
+	Restores        atomic.Int64 // checkpoint restore passes
+	RestoredBytes   atomic.Int64 // bytes copied back from checkpoints
+	ReplayedLaunches atomic.Int64 // launches re-executed during recovery
+	ReplayedPoints   atomic.Int64 // point tasks re-executed during recovery
 }
 
 // AddCopy records a copy of n bytes over link class l.
@@ -253,9 +263,16 @@ func (s *Stats) MovedBytes() int64 {
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("tasks=%d points=%d copies=%d bytes[same=%d intra=%d nvlink=%d inter=%d] realloc=%d allreduce=%d",
+	base := fmt.Sprintf("tasks=%d points=%d copies=%d bytes[same=%d intra=%d nvlink=%d inter=%d] realloc=%d allreduce=%d",
 		s.Tasks.Load(), s.PointTasks.Load(), s.Copies.Load(),
 		s.CopiedBytes[SameProc].Load(), s.CopiedBytes[IntraNode].Load(),
 		s.CopiedBytes[NVLink].Load(), s.CopiedBytes[InterNode].Load(),
 		s.ReallocCopy.Load(), s.AllReduces.Load())
+	if s.PointFailures.Load() == 0 && s.ProcsLost.Load() == 0 && s.Checkpoints.Load() == 0 {
+		return base
+	}
+	return base + fmt.Sprintf(" faults[points=%d procs=%d] ckpt[n=%d bytes=%d] recovery[restores=%d replayed=%d/%d]",
+		s.PointFailures.Load(), s.ProcsLost.Load(),
+		s.Checkpoints.Load(), s.CheckpointBytes.Load(),
+		s.Restores.Load(), s.ReplayedLaunches.Load(), s.ReplayedPoints.Load())
 }

@@ -14,6 +14,7 @@
 package solvers
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -27,6 +28,58 @@ type Result struct {
 	Iterations int
 	Residuals  []float64 // per-iteration residual norms
 	Converged  bool
+
+	// Err is non-nil when the solve stopped for a reason other than
+	// convergence or iteration exhaustion: a numerical breakdown (a
+	// zero denominator in the recurrence, a NaN or Inf residual) or a
+	// sticky runtime error (modeled OOM, unrecoverable fault).
+	Err error
+}
+
+// BreakdownError reports a numerical breakdown of an iterative solver:
+// a denominator in the Krylov recurrence hit exactly zero, or the
+// residual norm left the finite floats. SciPy signals these with
+// info < 0; here the failing quantity and iteration are named.
+type BreakdownError struct {
+	Solver    string
+	Iteration int
+	Reason    string
+}
+
+func (e *BreakdownError) Error() string {
+	return fmt.Sprintf("solvers: %s breakdown at iteration %d: %s", e.Solver, e.Iteration, e.Reason)
+}
+
+// breakdown records a breakdown on res unless the solve already
+// converged (a zero denominator *after* convergence is the normal exit
+// of an exactly-solved system, not an error).
+func (res *Result) breakdown(solver, reason string) {
+	if !res.Converged && res.Err == nil {
+		res.Err = &BreakdownError{Solver: solver, Iteration: res.Iterations, Reason: reason}
+	}
+}
+
+// residualOK records a breakdown and returns false when a residual
+// norm is NaN or Inf — the iteration has diverged and no further step
+// can recover it.
+func (res *Result) residualOK(solver string, nrm float64) bool {
+	if math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+		res.breakdown(solver, fmt.Sprintf("residual norm is %v", nrm))
+		return false
+	}
+	return true
+}
+
+// finish propagates a sticky runtime error into the result. Kernel
+// values funnel through Future.Get, so by the time a solver returns,
+// any modeled OOM or unrecovered fault is visible on the runtime; a
+// runtime error outranks whatever numeric state the solve limped to.
+func (res *Result) finish(rt *legion.Runtime) *Result {
+	if err := rt.Err(); err != nil {
+		res.Err = err
+		res.Converged = false
+	}
+	return res
 }
 
 // CG solves the SPD system A x = b with the conjugate-gradient method,
@@ -49,15 +102,20 @@ func CG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 		a.SpMVInto(ap, p)
 		pap := cunumeric.Dot(p, ap).Get()
 		if pap == 0 {
+			res.breakdown("cg", "p·Ap = 0")
 			break
 		}
 		alpha := rs / pap
 		cunumeric.AXPY(alpha, p, x)
 		cunumeric.AXPY(-alpha, ap, r)
 		rsNew := cunumeric.Dot(r, r).Get()
+		nrm := math.Sqrt(rsNew)
 		res.Iterations = it + 1
-		res.Residuals = append(res.Residuals, math.Sqrt(rsNew))
-		if math.Sqrt(rsNew) < tol {
+		res.Residuals = append(res.Residuals, nrm)
+		if !res.residualOK("cg", nrm) {
+			break
+		}
+		if nrm < tol {
 			res.Converged = true
 			break
 		}
@@ -67,7 +125,7 @@ func CG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	r.Destroy()
 	p.Destroy()
 	ap.Destroy()
-	return res
+	return res.finish(rt)
 }
 
 // CGS solves A x = b with the conjugate-gradient-squared method (ported
@@ -91,10 +149,15 @@ func CGS(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 
 	res := &Result{X: x}
 	rho := cunumeric.Dot(rTilde, r).Get()
-	for it := 0; it < maxIter && rho != 0; it++ {
+	for it := 0; it < maxIter; it++ {
+		if rho == 0 {
+			res.breakdown("cgs", "rho = r̃·r = 0")
+			break
+		}
 		a.SpMVInto(vh, p)
 		sigma := cunumeric.Dot(rTilde, vh).Get()
 		if sigma == 0 {
+			res.breakdown("cgs", "sigma = r̃·Ap = 0")
 			break
 		}
 		alpha := rho / sigma
@@ -109,6 +172,9 @@ func CGS(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 		nrm := math.Sqrt(cunumeric.Dot(r, r).Get())
 		res.Iterations = it + 1
 		res.Residuals = append(res.Residuals, nrm)
+		if !res.residualOK("cgs", nrm) {
+			break
+		}
 		if nrm < tol {
 			res.Converged = true
 			break
@@ -126,7 +192,7 @@ func CGS(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	for _, buf := range []*cunumeric.Array{r, rTilde, u, p, q, vh, uq, tmp} {
 		buf.Destroy()
 	}
-	return res
+	return res.finish(rt)
 }
 
 // BiCG solves A x = b with the biconjugate-gradient method; it uses Aᵀ
@@ -150,11 +216,16 @@ func BiCG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 
 	res := &Result{X: x}
 	rho := cunumeric.Dot(rTilde, r).Get()
-	for it := 0; it < maxIter && rho != 0; it++ {
+	for it := 0; it < maxIter; it++ {
+		if rho == 0 {
+			res.breakdown("bicg", "rho = r̃·r = 0")
+			break
+		}
 		a.SpMVInto(ap, p)
 		at.SpMVInto(atp, pTilde)
 		den := cunumeric.Dot(pTilde, ap).Get()
 		if den == 0 {
+			res.breakdown("bicg", "p̃·Ap = 0")
 			break
 		}
 		alpha := rho / den
@@ -164,6 +235,9 @@ func BiCG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 		nrm := math.Sqrt(cunumeric.Dot(r, r).Get())
 		res.Iterations = it + 1
 		res.Residuals = append(res.Residuals, nrm)
+		if !res.residualOK("bicg", nrm) {
+			break
+		}
 		if nrm < tol {
 			res.Converged = true
 			break
@@ -177,7 +251,7 @@ func BiCG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	for _, buf := range []*cunumeric.Array{r, rTilde, p, pTilde, ap, atp} {
 		buf.Destroy()
 	}
-	return res
+	return res.finish(rt)
 }
 
 // BiCGSTAB solves A x = b with the stabilized biconjugate-gradient
@@ -198,10 +272,15 @@ func BiCGSTAB(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result
 
 	res := &Result{X: x}
 	rho := cunumeric.Dot(rHat, r).Get()
-	for it := 0; it < maxIter && rho != 0; it++ {
+	for it := 0; it < maxIter; it++ {
+		if rho == 0 {
+			res.breakdown("bicgstab", "rho = r̂·r = 0")
+			break
+		}
 		a.SpMVInto(v, p)
 		den := cunumeric.Dot(rHat, v).Get()
 		if den == 0 {
+			res.breakdown("bicgstab", "r̂·Ap = 0")
 			break
 		}
 		alpha := rho / den
@@ -222,12 +301,16 @@ func BiCGSTAB(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result
 		nrm := math.Sqrt(cunumeric.Dot(r, r).Get())
 		res.Iterations = it + 1
 		res.Residuals = append(res.Residuals, nrm)
+		if !res.residualOK("bicgstab", nrm) {
+			break
+		}
 		if nrm < tol {
 			res.Converged = true
 			break
 		}
 		rhoNew := cunumeric.Dot(rHat, r).Get()
 		if omega == 0 {
+			res.breakdown("bicgstab", "omega = t·s/t·t = 0")
 			break
 		}
 		beta := (rhoNew / rho) * (alpha / omega)
@@ -239,7 +322,7 @@ func BiCGSTAB(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result
 	for _, buf := range []*cunumeric.Array{r, rHat, p, v, s, t} {
 		buf.Destroy()
 	}
-	return res
+	return res.finish(rt)
 }
 
 // GMRES solves A x = b with restarted GMRES(m). The Krylov basis
@@ -282,9 +365,12 @@ func GMRES(a *core.CSR, b *cunumeric.Array, restart, maxIter int, tol float64) *
 		if res.Iterations == 0 {
 			res.Residuals = append(res.Residuals, beta)
 		}
+		if !res.residualOK("gmres", beta) {
+			return res.finish(rt)
+		}
 		if beta < tol {
 			res.Converged = true
-			return res
+			return res.finish(rt)
 		}
 		cunumeric.Copy(basis[0], r)
 		basis[0].Scale(1 / beta)
@@ -314,6 +400,7 @@ func GMRES(a *core.CSR, b *cunumeric.Array, restart, maxIter int, tol float64) *
 			}
 			denom := math.Hypot(h[k][k], h[k+1][k])
 			if denom == 0 {
+				res.breakdown("gmres", "Givens denominator = 0")
 				k++
 				break
 			}
@@ -327,6 +414,10 @@ func GMRES(a *core.CSR, b *cunumeric.Array, restart, maxIter int, tol float64) *
 			res.Iterations++
 			nrm := math.Abs(g[k+1])
 			res.Residuals = append(res.Residuals, nrm)
+			if !res.residualOK("gmres", nrm) {
+				k++
+				break
+			}
 			if nrm < tol {
 				k++
 				res.Converged = true
@@ -345,11 +436,13 @@ func GMRES(a *core.CSR, b *cunumeric.Array, restart, maxIter int, tol float64) *
 		for i := 0; i < k; i++ {
 			cunumeric.AXPY(y[i], basis[i], x)
 		}
-		if res.Converged {
-			return res
+		// A breakdown without an iteration-count advance would otherwise
+		// respin the outer loop on the same data forever.
+		if res.Converged || res.Err != nil {
+			return res.finish(rt)
 		}
 	}
-	return res
+	return res.finish(rt)
 }
 
 // PowerIteration estimates the dominant eigenvalue and eigenvector of A

@@ -35,6 +35,7 @@ func PCGJacobi(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Resul
 		a.SpMVInto(ap, p)
 		den := cunumeric.Dot(p, ap).Get()
 		if den == 0 {
+			res.breakdown("pcg", "p·Ap = 0")
 			break
 		}
 		alpha := rz / den
@@ -43,6 +44,9 @@ func PCGJacobi(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Resul
 		nrm := math.Sqrt(cunumeric.Dot(r, r).Get())
 		res.Iterations = it + 1
 		res.Residuals = append(res.Residuals, nrm)
+		if !res.residualOK("pcg", nrm) {
+			break
+		}
 		if nrm < tol {
 			res.Converged = true
 			break
@@ -57,7 +61,7 @@ func PCGJacobi(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Resul
 	z.Destroy()
 	p.Destroy()
 	ap.Destroy()
-	return res
+	return res.finish(rt)
 }
 
 // RKF45 integrates y' = f(t, y) from t0 to t1 with the adaptive
