@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-fusion chaos
+.PHONY: check fmt vet build test race bench-fusion chaos prof
 
-# check is the full pre-merge gate: static analysis, build, the race-
-# enabled test suite, the fault-injection suite, and one pass over the
-# fusion wall-clock benchmarks (compile + run, not a timing study — use
-# `go test -bench` directly with a real -benchtime for numbers).
-check: vet build race chaos bench-fusion
+# check is the full pre-merge gate: formatting, static analysis, build,
+# the race-enabled test suite, the fault-injection suite, one pass over
+# the fusion wall-clock benchmarks (compile + run, not a timing study —
+# use `go test -bench` directly with a real -benchtime for numbers), and
+# the legate-prof artifact smoke test.
+check: fmt vet build race chaos bench-fusion prof
+
+# fmt fails (and lists offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -29,3 +35,11 @@ chaos:
 
 bench-fusion:
 	$(GO) test -run=NONE -bench=BenchmarkFusion -benchtime=1x ./...
+
+# prof smoke-tests the observability pipeline: run legate-prof on a
+# small CG preset and let -check validate that the Chrome trace parses,
+# the per-processor timelines never overlap, the DOT dependence graph is
+# well-formed, and the critical-path bounds are self-consistent.
+prof:
+	$(GO) run ./cmd/legate-prof -preset cg -procs 4 -units 1024 \
+		-out $${TMPDIR:-/tmp}/legate-prof-smoke -check >/dev/null

@@ -21,11 +21,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/legion"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -39,10 +42,20 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for workload generators and the fault injector")
 	faults := flag.String("faults", "", "fault schedule for -exp recovery (e.g. point@40:2,proc@1:500us,rate:0.001:3)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint interval in launches for -exp recovery (0 = default)")
+	profOut := flag.String("prof-out", "", "directory to write observability artifacts (Chrome trace, DOT dependence graph, critical-path report) covering every runtime the experiments create")
 	flag.Parse()
 
 	if !*fusion {
 		legion.SetDefaultFusionWindow(0)
+	}
+	var sink *prof.Sink
+	if *profOut != "" {
+		// Every runtime the bench package creates attaches to this sink;
+		// the artifacts separate them by run index (one Chrome-trace
+		// process / DOT cluster / report section per runtime).
+		sink = prof.NewSink(0)
+		legion.SetDefaultProfiler(sink)
+		defer writeProfArtifacts(sink, *profOut)
 	}
 
 	var opt bench.Options
@@ -131,4 +144,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// writeProfArtifacts snapshots the sink and writes the three exporter
+// artifacts under dir.
+func writeProfArtifacts(sink *prof.Sink, dir string) {
+	legion.SetDefaultProfiler(nil)
+	t := sink.Snapshot()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "prof-out: %v\n", err)
+		return
+	}
+	write := func(name string, f func(io.Writer) error) {
+		path := filepath.Join(dir, name)
+		out, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prof-out: %v\n", err)
+			return
+		}
+		defer out.Close()
+		if err := f(out); err != nil {
+			fmt.Fprintf(os.Stderr, "prof-out: writing %s: %v\n", path, err)
+		}
+	}
+	write("bench.trace.json", t.WriteChromeTrace)
+	write("bench.deps.dot", t.WriteDOT)
+	rep := t.BuildReport()
+	write("bench.report.json", rep.WriteJSON)
+	write("bench.report.txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, rep.String())
+		return err
+	})
+	fmt.Printf("prof-out: %d runs, %d spans, %d launches -> %s\n",
+		len(rep.Runs), len(t.Spans), len(t.Launches), dir)
 }

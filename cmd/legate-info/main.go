@@ -18,6 +18,8 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 1, "nodes of the simulated machine to describe")
 	fusion := flag.Bool("fusion", true, "enable the runtime's task-fusion window in the demo")
+	profile := flag.Bool("profile", false, "dump the demo run's per-task profile table")
+	copies := flag.Bool("copies", false, "dump the demo run's per-link-class copy and byte counts")
 	flag.Parse()
 
 	if !*fusion {
@@ -60,5 +62,17 @@ func main() {
 	groups, members := rt.Profile().FusedLaunchCounts()
 	fmt.Printf("  fused launches issued: %d (absorbing %d originals); simulated time %v\n",
 		groups, members, rt.SimTime())
+	if *profile {
+		fmt.Println("\nDemo run profile:")
+		fmt.Print(rt.Profile().String())
+	}
+	if *copies {
+		fmt.Println("\nDemo run copies by link class:")
+		fmt.Printf("  %-12s %10s %14s\n", "link", "copies", "bytes")
+		st := rt.Stats()
+		for l := machine.SameProc; l <= machine.InterNode; l++ {
+			fmt.Printf("  %-12s %10d %14d\n", l, st.LinkCopies(l), st.LinkBytes(l))
+		}
+	}
 	rt.Shutdown()
 }

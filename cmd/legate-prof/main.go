@@ -1,0 +1,167 @@
+// Command legate-prof is the reproduction's Legion Prof / Legion Spy:
+// it runs one of the paper's workloads with the observability sink
+// attached and exports three artifacts:
+//
+//	<out>/<preset>.trace.json   Chrome-trace/Perfetto timeline (simulated
+//	                            clock; load at ui.perfetto.dev)
+//	<out>/<preset>.deps.dot     Graphviz DOT of the dependence DAG with
+//	                            span annotations (render with dot -Tsvg)
+//	<out>/<preset>.report.txt   critical-path analysis + comms matrix
+//	<out>/<preset>.report.json  the same report, machine-readable
+//
+// The report's speedup bound (total work / critical path) is the best
+// any schedule could achieve for the captured run — comparing it
+// against the achieved parallelism shows how much headroom fusion,
+// tracing, or a better mapping could still claim.
+//
+// Usage:
+//
+//	legate-prof -preset cg|gmg|quantum|pagerank [-kind gpu|cpu]
+//	            [-procs N] [-units N] [-out DIR] [-fusion=false]
+//	            [-capacity N] [-check]
+//
+// -check self-validates the artifacts (the trace JSON re-parses, spans
+// never overlap within one processor timeline, the DOT is well-formed,
+// and the report's bounds are mutually consistent); `make prof` uses it
+// as a smoke test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/prof"
+)
+
+func main() {
+	preset := flag.String("preset", "cg", "workload: "+strings.Join(bench.Presets(), ", "))
+	kind := flag.String("kind", "gpu", "processor kind: gpu or cpu")
+	procs := flag.Int("procs", 4, "simulated processors")
+	units := flag.Int64("units", 0, "override units (rows/dimensions) per processor")
+	out := flag.String("out", "prof-out", "output directory for artifacts")
+	fusion := flag.Bool("fusion", true, "enable the runtime's task-fusion window")
+	capacity := flag.Int("capacity", 0, "sink ring capacity per event stream (0 = default)")
+	check := flag.Bool("check", false, "self-validate the artifacts and exit non-zero on failure")
+	flag.Parse()
+
+	if !*fusion {
+		legion.SetDefaultFusionWindow(0)
+	}
+	var k machine.ProcKind
+	switch *kind {
+	case "gpu":
+		k = machine.GPU
+	case "cpu":
+		k = machine.CPU
+	default:
+		fatalf("unknown -kind %q (gpu or cpu)", *kind)
+	}
+
+	opt := bench.SmallOptions()
+	if *units > 0 {
+		opt.UnitsPerProc = *units
+	}
+	sink := prof.NewSink(*capacity)
+	if err := bench.RunPreset(*preset, k, *procs, opt, sink); err != nil {
+		fatalf("preset %q: %v", *preset, err)
+	}
+	t := sink.Snapshot()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	tracePath := filepath.Join(*out, *preset+".trace.json")
+	dotPath := filepath.Join(*out, *preset+".deps.dot")
+	txtPath := filepath.Join(*out, *preset+".report.txt")
+	jsonPath := filepath.Join(*out, *preset+".report.json")
+
+	writeArtifact(tracePath, t.WriteChromeTrace)
+	writeArtifact(dotPath, t.WriteDOT)
+	rep := t.BuildReport()
+	writeArtifact(jsonPath, rep.WriteJSON)
+	if err := os.WriteFile(txtPath, []byte(rep.String()), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("preset %s on %d %s procs: %d spans, %d launches, %d deps, %d copies\n",
+		*preset, *procs, *kind, len(t.Spans), len(t.Launches), len(t.Deps), len(t.Copies))
+	fmt.Print(rep.String())
+	fmt.Printf("artifacts: %s %s %s %s\n", tracePath, dotPath, txtPath, jsonPath)
+
+	if *check {
+		if err := validate(t, rep, tracePath, dotPath); err != nil {
+			fatalf("check failed: %v", err)
+		}
+		fmt.Println("check: ok")
+	}
+}
+
+// validate is the smoke-test contract: artifacts parse, the timeline
+// invariant holds, and the report's bounds are internally consistent.
+func validate(t *prof.Trace, rep *prof.Report, tracePath, dotPath string) error {
+	if len(t.Spans) == 0 || len(t.Launches) == 0 || len(t.Deps) == 0 {
+		return fmt.Errorf("empty trace: %d spans, %d launches, %d deps",
+			len(t.Spans), len(t.Launches), len(t.Deps))
+	}
+	if err := t.CheckSpans(); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		return fmt.Errorf("trace JSON does not parse: %w", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		return fmt.Errorf("trace JSON has no events")
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(dot), "digraph") || !strings.Contains(string(dot), "->") {
+		return fmt.Errorf("DOT output missing digraph structure")
+	}
+	for _, rr := range rep.Runs {
+		if rr.CriticalPath > rr.Makespan {
+			return fmt.Errorf("run %d: critical path %v exceeds makespan %v",
+				rr.Run, rr.CriticalPath, rr.Makespan)
+		}
+		if rr.SpeedupBound+1e-9 < rr.Parallelism {
+			return fmt.Errorf("run %d: speedup bound %.3f below achieved parallelism %.3f",
+				rr.Run, rr.SpeedupBound, rr.Parallelism)
+		}
+	}
+	return nil
+}
+
+func writeArtifact(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "legate-prof: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/prof"
+)
+
+// TestRunPresetSmoke: every legate-prof preset runs to completion on a
+// tiny problem, publishes a non-empty trace satisfying the timeline
+// invariant, and yields a report whose bounds are consistent.
+func TestRunPresetSmoke(t *testing.T) {
+	for _, name := range Presets() {
+		t.Run(name, func(t *testing.T) {
+			opt := SmallOptions()
+			opt.UnitsPerProc = 256
+			sink := prof.NewSink(0)
+			if err := RunPreset(name, machine.GPU, 2, opt, sink); err != nil {
+				t.Fatalf("preset %q: %v", name, err)
+			}
+			tr := sink.Snapshot()
+			if len(tr.Spans) == 0 || len(tr.Launches) == 0 || len(tr.Deps) == 0 {
+				t.Fatalf("preset %q: empty trace (%d spans, %d launches, %d deps)",
+					name, len(tr.Spans), len(tr.Launches), len(tr.Deps))
+			}
+			if err := tr.CheckSpans(); err != nil {
+				t.Fatalf("preset %q: %v", name, err)
+			}
+			rep := tr.BuildReport()
+			if len(rep.Runs) != 1 {
+				t.Fatalf("preset %q: %d report runs, want 1", name, len(rep.Runs))
+			}
+			rr := rep.Runs[0]
+			if rr.CriticalPath <= 0 || rr.CriticalPath > rr.Makespan {
+				t.Fatalf("preset %q: critical path %v vs makespan %v", name, rr.CriticalPath, rr.Makespan)
+			}
+			if rr.SpeedupBound+1e-9 < rr.Parallelism {
+				t.Fatalf("preset %q: speedup bound %.3f below parallelism %.3f",
+					name, rr.SpeedupBound, rr.Parallelism)
+			}
+		})
+	}
+}
+
+// TestRunPresetUnknown: an unrecognized preset name is an error, not a
+// silent no-op.
+func TestRunPresetUnknown(t *testing.T) {
+	if err := RunPreset("nope", machine.GPU, 2, SmallOptions(), prof.NewSink(0)); err == nil {
+		t.Fatal("unknown preset must return an error")
+	}
+}

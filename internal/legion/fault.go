@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/geometry"
 	"repro/internal/machine"
+	"repro/internal/prof"
 )
 
 // FaultInjector is the runtime's view of a fault schedule (implemented
@@ -157,6 +158,7 @@ func (s *regionSnap) restore() {
 type ftState struct {
 	every     int // launches per checkpoint epoch
 	sinceCkpt int
+	epoch     int64 // committed checkpoint epochs (profiling tag)
 	log       []*ftLogEntry
 	snaps     map[RegionID]*regionSnap
 
@@ -193,6 +195,16 @@ func (rt *Runtime) CheckpointEvery() int {
 		return 0
 	}
 	return rt.ft.every
+}
+
+// ckptEpoch returns the number of committed checkpoint epochs — the
+// profiling tag launches are stamped with (0 when checkpointing is off
+// or before the first commit). Application goroutine only.
+func (rt *Runtime) ckptEpoch() int64 {
+	if rt.ft == nil {
+		return 0
+	}
+	return rt.ft.epoch
 }
 
 // LaunchDomain returns the default launch-domain size for distributed
@@ -290,8 +302,12 @@ func (rt *Runtime) takeCheckpoint() {
 	ft.log = nil
 	ft.snaps = map[RegionID]*regionSnap{}
 	ft.sinceCkpt = 0
+	ft.epoch++
 	rt.stats.Checkpoints.Add(1)
 	rt.chargeBarrier(rt.cost.CheckpointLatency)
+	if ps := rt.prof; ps != nil {
+		ps.RecordMark(prof.Mark{Run: rt.profRun, Kind: prof.MarkCheckpoint, At: rt.peekSimTime()})
+	}
 }
 
 // notePointFailure records a kernel failure for deferred recovery; it
@@ -306,6 +322,10 @@ func (rt *Runtime) notePointFailure(ls *launchState, point int, err error) bool 
 	ft.failed = append(ft.failed, pointFailure{task: ls.name, point: point, err: err})
 	ft.failMu.Unlock()
 	ft.needRec.Store(true)
+	if ps := rt.prof; ps != nil {
+		ps.RecordMark(prof.Mark{Run: rt.profRun, Kind: prof.MarkFault,
+			At: rt.peekSimTime(), Task: ls.name, Point: point})
+	}
 	return true
 }
 
@@ -364,6 +384,10 @@ func (rt *Runtime) restoreCheckpoint() {
 	}
 	rt.stats.RestoredBytes.Add(bytes)
 	rt.chargeBarrier(rt.cost.CheckpointTime(bytes))
+	if ps := rt.prof; ps != nil {
+		ps.RecordMark(prof.Mark{Run: rt.profRun, Kind: prof.MarkRestore,
+			At: rt.peekSimTime(), Bytes: bytes})
+	}
 }
 
 // replayLog re-executes the epoch's logged launches in program order.
@@ -424,7 +448,20 @@ func (rt *Runtime) replayEntry(e *ftLogEntry) error {
 			work = l.workFn(p)
 		}
 		kind := rt.mach.Proc(proc).Kind
-		rt.chargeProc(proc, rt.cost.PointOverhead+copyTime+rt.cost.KernelTime(kind, l.opClass, work))
+		dur := rt.cost.PointOverhead + copyTime + rt.cost.KernelTime(kind, l.opClass, work)
+		start, _ := rt.chargeProcSpan(proc, dur)
+		if ps := rt.prof; ps != nil {
+			var seq int64
+			if ls != nil {
+				seq = ls.seq
+			}
+			ps.RecordSpan(prof.Span{
+				Run: rt.profRun, Task: l.name, Launch: seq, Point: p,
+				Proc: int(proc), Node: rt.mach.Proc(proc).Node,
+				Start: start, Dur: dur,
+				CkptEpoch: rt.ckptEpoch(), Replay: true,
+			})
+		}
 	}
 	if hasPartial && ls != nil {
 		var sum float64
@@ -548,18 +585,30 @@ func (rt *Runtime) retireProc(p machine.ProcID) bool {
 	rt.simMu.Lock()
 	delete(rt.procBusy, p)
 	rt.simMu.Unlock()
+	if ps := rt.prof; ps != nil {
+		ps.RecordMark(prof.Mark{Run: rt.profRun, Kind: prof.MarkProcDeath,
+			At: rt.peekSimTime(), Proc: int(p)})
+	}
 	return true
 }
 
 // chargeProc advances one processor's simulated timeline by dt.
 func (rt *Runtime) chargeProc(proc machine.ProcID, dt time.Duration) {
+	rt.chargeProcSpan(proc, dt)
+}
+
+// chargeProcSpan advances one processor's simulated timeline by dt and
+// returns the interval charged, so replay can publish profiling spans.
+func (rt *Runtime) chargeProcSpan(proc machine.ProcID, dt time.Duration) (start, finish time.Duration) {
 	rt.simMu.Lock()
-	t := rt.procBusy[proc] + dt
-	rt.procBusy[proc] = t
-	if t > rt.simMax {
-		rt.simMax = t
+	start = rt.procBusy[proc]
+	finish = start + dt
+	rt.procBusy[proc] = finish
+	if finish > rt.simMax {
+		rt.simMax = finish
 	}
 	rt.simMu.Unlock()
+	return start, finish
 }
 
 // chargeBarrier advances every processor to the common time

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geometry"
 	"repro/internal/machine"
+	"repro/internal/prof"
 )
 
 // HostProc is the pseudo-processor representing node-0 host memory.
@@ -145,6 +146,10 @@ func (m *Mapper) evictProcessor(p machine.ProcID) {
 		m.dead = map[machine.ProcID]bool{}
 	}
 	m.dead[p] = true
+	if ps := m.rt.prof; ps != nil {
+		ps.RecordMem(prof.MemEvent{Run: m.rt.profRun, Kind: prof.MemEvict,
+			Proc: int(p), Bytes: m.mems[p].used})
+	}
 	m.mems[p] = newProcMemory()
 	m.srcOrder = nil // rebuild source preferences without p
 }
@@ -284,6 +289,10 @@ func (m *Mapper) allocate(pm *procMemory, r *Region, need geometry.Rect, kind ma
 		moved := a.extent.Size() * es // old contents copied into the resized allocation
 		pm.used += grow
 		list[i] = &allocation{region: r.id, elemSize: es, extent: merged}
+		if ps := m.rt.prof; ps != nil {
+			ps.RecordMem(prof.MemEvent{Run: m.rt.profRun, Kind: prof.MemGrow,
+				Proc: int(proc), Region: r.name, Bytes: grow})
+		}
 		return moved, false, nil
 	}
 	// Free pool: reuse a pooled allocation whose extent contains need.
@@ -291,6 +300,10 @@ func (m *Mapper) allocate(pm *procMemory, r *Region, need geometry.Rect, kind ma
 		if pa.elemSize == es && pa.extent.ContainsRect(need) {
 			pm.pool = append(pm.pool[:i], pm.pool[i+1:]...)
 			pm.allocs[r.id] = append(pm.allocs[r.id], &allocation{region: r.id, elemSize: es, extent: pa.extent})
+			if ps := m.rt.prof; ps != nil {
+				ps.RecordMem(prof.MemEvent{Run: m.rt.profRun, Kind: prof.MemReuse,
+					Proc: int(proc), Region: r.name, Bytes: pa.extent.Size() * es})
+			}
 			return 0, true, nil
 		}
 	}
@@ -301,6 +314,10 @@ func (m *Mapper) allocate(pm *procMemory, r *Region, need geometry.Rect, kind ma
 	}
 	pm.used += grow
 	pm.allocs[r.id] = append(pm.allocs[r.id], &allocation{region: r.id, elemSize: es, extent: need})
+	if ps := m.rt.prof; ps != nil {
+		ps.RecordMem(prof.MemEvent{Run: m.rt.profRun, Kind: prof.MemAlloc,
+			Proc: int(proc), Region: r.name, Bytes: grow})
+	}
 	return 0, true, nil
 }
 
@@ -343,6 +360,10 @@ func (m *Mapper) copyIn(proc machine.ProcID, r *Region, missing geometry.Interva
 		link := m.rt.mach.Link(proc, q)
 		bytes := part.Size() * es
 		m.rt.stats.AddCopy(link, bytes)
+		if ps := m.rt.prof; ps != nil {
+			ps.RecordCopy(prof.Copy{Run: m.rt.profRun, Src: int(q), Dst: int(proc),
+				Link: link, Bytes: bytes})
+		}
 		total += cost.CopyTime(link, bytes)
 		remaining = remaining.Subtract(part)
 	}
@@ -354,6 +375,10 @@ func (m *Mapper) copyIn(proc machine.ProcID, r *Region, missing geometry.Interva
 		}
 		bytes := remaining.Size() * es
 		m.rt.stats.AddCopy(link, bytes)
+		if ps := m.rt.prof; ps != nil {
+			ps.RecordCopy(prof.Copy{Run: m.rt.profRun, Src: prof.HostProc, Dst: int(proc),
+				Link: link, Bytes: bytes})
+		}
 		total += cost.CopyTime(link, bytes)
 	}
 	return total

@@ -2,10 +2,12 @@ package legion
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geometry"
 	"repro/internal/machine"
+	"repro/internal/prof"
 )
 
 // Runtime executes a sequential stream of index task launches with
@@ -36,6 +38,13 @@ type Runtime struct {
 	domain    int   // default launch-domain size; stable across proc loss
 	streamPos int64 // launches issued, the fault/replay stream position
 
+	// Observability (see internal/prof). Like faultInj, the sink is
+	// written on the application goroutine behind a Fence and then read
+	// lock-free by workers; a nil sink costs one pointer compare per
+	// event site.
+	prof    *prof.Sink
+	profRun int
+
 	mu            sync.Mutex
 	nextRegion    RegionID
 	nextPartition int64
@@ -49,7 +58,9 @@ type Runtime struct {
 
 	traceActive    bool
 	traceReplaying bool
-	knownTraces    map[int64]bool
+	traceID        int64           // active trace id (0 when no trace is open)
+	traceEpoch     int64           // nth execution of the active trace (1 = recording)
+	traceEpochs    map[int64]int64 // executions so far per trace id
 
 	simMu    sync.Mutex
 	procBusy map[machine.ProcID]time.Duration
@@ -68,6 +79,20 @@ type regionState struct {
 	lastWriters []*launchState
 	readers     []*launchState
 }
+
+// defaultProfiler, when set, is attached to every newly created
+// runtime — how cmd/legate-bench threads -prof-out through the bench
+// package's internally constructed runtimes (mirrors
+// SetDefaultFusionWindow).
+var defaultProfiler atomic.Pointer[prof.Sink]
+
+// SetDefaultProfiler installs a sink that newly created runtimes attach
+// to automatically (nil clears it). Existing runtimes are unaffected;
+// use Runtime.EnableProfiling for those.
+func SetDefaultProfiler(s *prof.Sink) { defaultProfiler.Store(s) }
+
+// DefaultProfiler returns the sink applied to newly created runtimes.
+func DefaultProfiler() *prof.Sink { return defaultProfiler.Load() }
 
 // NewRuntime creates a runtime that schedules onto the given processors
 // of the machine. The processor list fixes both the parallelism (one
@@ -93,6 +118,10 @@ func NewRuntime(m *machine.Machine, procs []machine.ProcID) *Runtime {
 	}
 	rt.map_ = newMapper(rt)
 	rt.profile = newProfile()
+	if s := DefaultProfiler(); s != nil {
+		rt.prof = s
+		rt.profRun = s.AttachRun()
+	}
 	if n := DefaultFusionWindow(); n > 1 {
 		rt.fuser = &fuser{rt: rt, max: n}
 	}
@@ -130,6 +159,22 @@ func (rt *Runtime) Stats() *machine.Stats { return rt.stats }
 
 // Mapper exposes the mapper for inspection in tests.
 func (rt *Runtime) Mapper() *Mapper { return rt.map_ }
+
+// EnableProfiling attaches an observability sink (see internal/prof):
+// the runtime publishes task spans, dependence edges, coherence copies,
+// mapper events, and fault-recovery marks into it. It fences first so
+// worker goroutines observe the sink before any instrumented launch.
+// A nil sink disables profiling.
+func (rt *Runtime) EnableProfiling(s *prof.Sink) {
+	rt.Fence()
+	rt.prof = s
+	if s != nil {
+		rt.profRun = s.AttachRun()
+	}
+}
+
+// Profiler returns the attached observability sink, or nil.
+func (rt *Runtime) Profiler() *prof.Sink { return rt.prof }
 
 // Err returns the sticky first error (e.g. modeled OOM) hit by any task,
 // or nil. Once set, subsequent kernels are skipped; callers should check
@@ -455,6 +500,31 @@ func (rt *Runtime) executeNow(l *Launch) *Future {
 			st.readers = append(st.readers, ls)
 		}
 	}
+	// Tag the launch with the optimization regime it is issued under, so
+	// its spans carry the fusion/trace/checkpoint context (Legion Prof's
+	// grouping keys). Cheap plain fields; read by workers only after the
+	// launch dispatches.
+	ls.traceID, ls.traceEpoch = rt.traceID, rt.traceEpoch
+	ls.traceReplay = rt.traceActive && rt.traceReplaying
+	ls.ckptEpoch = rt.ckptEpoch()
+	if ps := rt.prof; ps != nil {
+		var members []string
+		for i := range ls.fused {
+			members = append(members, ls.fused[i].name)
+		}
+		depSeqs := make([]int64, 0, len(depSet))
+		for dep := range depSet {
+			if dep != ls {
+				depSeqs = append(depSeqs, dep.seq)
+			}
+		}
+		ps.RecordLaunch(prof.LaunchInfo{
+			Run: rt.profRun, Seq: ls.seq, Name: ls.name, Points: ls.points,
+			Stream: ls.stream, Members: members,
+			TraceID: ls.traceID, TraceEpoch: ls.traceEpoch, TraceReplay: ls.traceReplay,
+			CkptEpoch: ls.ckptEpoch,
+		}, depSeqs)
+	}
 	rt.mu.Unlock()
 
 	// Enqueue every point task now, in launch-sequence order, so each
@@ -603,6 +673,16 @@ func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
 	}
 	rt.simMu.Unlock()
 	ls.recordFinish(finish)
+	if ps := rt.prof; ps != nil {
+		ps.RecordSpan(prof.Span{
+			Run: rt.profRun, Task: ls.name, Launch: ls.seq, Point: point,
+			Proc: int(proc), Node: rt.mach.Proc(proc).Node,
+			Start: start, Dur: dur,
+			FusedMembers: len(ls.fused),
+			TraceID:      ls.traceID, TraceEpoch: ls.traceEpoch, TraceReplay: ls.traceReplay,
+			CkptEpoch: ls.ckptEpoch,
+		})
+	}
 
 	if ls.remaining.Add(-1) == 0 {
 		rt.completeLaunch(ls)

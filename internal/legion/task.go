@@ -277,6 +277,14 @@ type launchState struct {
 	procMap func(point int) int // optional point→proc override
 	stream  int64               // launch-stream position (0 for a fused carrier; members keep theirs)
 
+	// Profiling tags: the optimization regime this launch was issued
+	// under, set in executeNow under rt.mu, read by workers only after
+	// the launch dispatches (see internal/prof).
+	traceID     int64
+	traceEpoch  int64
+	traceReplay bool
+	ckptEpoch   int64
+
 	// Dependence DAG. depCount holds remaining unfinished dependencies
 	// plus a registration guard; the launch dispatches when it hits zero.
 	depCount  atomic.Int64

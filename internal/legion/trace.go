@@ -39,11 +39,13 @@ func (rt *Runtime) BeginTrace(id int64) {
 		panic("legion: traces cannot nest")
 	}
 	rt.traceActive = true
-	if rt.knownTraces == nil {
-		rt.knownTraces = map[int64]bool{}
+	if rt.traceEpochs == nil {
+		rt.traceEpochs = map[int64]int64{}
 	}
-	rt.traceReplaying = rt.knownTraces[id]
-	rt.knownTraces[id] = true
+	rt.traceReplaying = rt.traceEpochs[id] > 0
+	rt.traceEpochs[id]++
+	rt.traceID = id
+	rt.traceEpoch = rt.traceEpochs[id]
 }
 
 // EndTrace closes the current traced sequence.
@@ -57,6 +59,8 @@ func (rt *Runtime) EndTrace() {
 	}
 	rt.traceActive = false
 	rt.traceReplaying = false
+	rt.traceID = 0
+	rt.traceEpoch = 0
 }
 
 // analysisCost returns the analysis-pipeline time of one launch with

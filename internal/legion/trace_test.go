@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/prof"
 )
 
 // TestTraceReplayReducesAnalysisTime: a repeated launch sequence inside
@@ -115,8 +116,8 @@ func TestTraceFirstRecordingPaysFullCost(t *testing.T) {
 // unfused first (recording) iteration.
 func TestTraceFusionComposition(t *testing.T) {
 	type result struct {
-		data      []float64
-		perIter   []time.Duration // analysis time charged per iteration
+		data    []float64
+		perIter []time.Duration // analysis time charged per iteration
 	}
 	run := func(traced bool, window int) result {
 		m := machine.Summit(1)
@@ -187,4 +188,101 @@ func TestTraceFusionComposition(t *testing.T) {
 	if fusedReplay > plainReplay {
 		t.Errorf("fused replay total %v exceeds unfused replay total %v", fusedReplay, plainReplay)
 	}
+}
+
+// TestProfilingTraceFusionComposition: with a sink attached, an open
+// fusion window, and an active trace, every published span and launch
+// must carry mutually consistent composition tags — the trace id, a
+// monotonically increasing trace epoch (1 = recording, >1 = replay),
+// the replay flag only on replay epochs, and fused-carrier annotations
+// that survive into traced iterations.
+func TestProfilingTraceFusionComposition(t *testing.T) {
+	m := machine.Summit(1)
+	rt := NewRuntime(m, m.Select(machine.GPU, 2))
+	defer rt.Shutdown()
+	rt.SetFusionWindow(16)
+	sink := prof.NewSink(0)
+	rt.EnableProfiling(sink)
+
+	x := rt.CreateRegion("x", 64, Float64)
+	part := rt.BlockPartition(x, 2)
+	const traceID, iters = 55, 4
+	for iter := 0; iter < iters; iter++ {
+		rt.BeginTrace(traceID)
+		for k := 0; k < 4; k++ {
+			l := rt.NewLaunch("step", 2, func(tc *TaskContext) {
+				d := tc.Float64(0)
+				tc.Subspace(0).Each(func(i int64) { d[i] += 0.25 })
+			})
+			l.Add(x, part, ReadWrite)
+			l.SetFusable(true)
+			l.Execute()
+		}
+		rt.EndTrace()
+	}
+	rt.Fence()
+	tr := sink.Snapshot()
+	if err := tr.CheckSpans(); err != nil {
+		t.Fatalf("composition broke the timeline invariant: %v", err)
+	}
+
+	epochs := map[int64]bool{}
+	var fusedTraced int
+	for _, sp := range tr.Spans {
+		if sp.TraceID != traceID {
+			t.Fatalf("span %s launch %d: trace id %d, want %d", sp.Task, sp.Launch, sp.TraceID, traceID)
+		}
+		if sp.TraceEpoch < 1 || sp.TraceEpoch > iters {
+			t.Fatalf("span %s: trace epoch %d outside [1,%d]", sp.Task, sp.TraceEpoch, iters)
+		}
+		if want := sp.TraceEpoch > 1; sp.TraceReplay != want {
+			t.Fatalf("span %s epoch %d: TraceReplay = %v, want %v (epoch 1 records, later epochs replay)",
+				sp.Task, sp.TraceEpoch, sp.TraceReplay, want)
+		}
+		epochs[sp.TraceEpoch] = true
+		if sp.FusedMembers > 0 {
+			fusedTraced++
+		}
+	}
+	for e := int64(1); e <= iters; e++ {
+		if !epochs[e] {
+			t.Fatalf("no spans published for trace epoch %d (saw %v)", e, epochs)
+		}
+	}
+	if fusedTraced == 0 {
+		t.Fatal("fusion window open during trace must yield fused carrier spans with trace tags")
+	}
+
+	// Launch records agree with their spans and annotate fused members.
+	bySeq := map[int64]LaunchTags{}
+	var fusedLaunches int
+	for _, li := range tr.Launches {
+		bySeq[li.Seq] = LaunchTags{li.TraceID, li.TraceEpoch, li.TraceReplay}
+		if len(li.Members) > 0 {
+			fusedLaunches++
+			if li.TraceID != traceID {
+				t.Fatalf("fused launch %q lost its trace tag", li.Name)
+			}
+		}
+	}
+	if fusedLaunches == 0 {
+		t.Fatal("no fused carrier launches recorded")
+	}
+	for _, sp := range tr.Spans {
+		tags, ok := bySeq[sp.Launch]
+		if !ok {
+			t.Fatalf("span %s references unrecorded launch %d", sp.Task, sp.Launch)
+		}
+		if tags != (LaunchTags{sp.TraceID, sp.TraceEpoch, sp.TraceReplay}) {
+			t.Fatalf("span %s tags %+v disagree with launch %d tags %+v",
+				sp.Task, sp, sp.Launch, tags)
+		}
+	}
+}
+
+// LaunchTags is a comparable triple for the composition test.
+type LaunchTags struct {
+	ID     int64
+	Epoch  int64
+	Replay bool
 }

@@ -225,16 +225,17 @@ type Stats struct {
 	PointTasks  atomic.Int64
 	Copies      atomic.Int64
 	CopiedBytes [4]atomic.Int64 // indexed by LinkClass
+	CopyCounts  [4]atomic.Int64 // copies per LinkClass
 	AllReduces  atomic.Int64
 	ReallocCopy atomic.Int64 // bytes copied due to allocation resizing (§4.3)
 
 	// Fault-tolerance counters.
-	PointFailures   atomic.Int64 // point tasks that panicked (injected or real)
-	ProcsLost       atomic.Int64 // processors retired after a modeled kill
-	Checkpoints     atomic.Int64 // checkpoint epochs closed
-	CheckpointBytes atomic.Int64 // bytes snapshotted into checkpoints
-	Restores        atomic.Int64 // checkpoint restore passes
-	RestoredBytes   atomic.Int64 // bytes copied back from checkpoints
+	PointFailures    atomic.Int64 // point tasks that panicked (injected or real)
+	ProcsLost        atomic.Int64 // processors retired after a modeled kill
+	Checkpoints      atomic.Int64 // checkpoint epochs closed
+	CheckpointBytes  atomic.Int64 // bytes snapshotted into checkpoints
+	Restores         atomic.Int64 // checkpoint restore passes
+	RestoredBytes    atomic.Int64 // bytes copied back from checkpoints
 	ReplayedLaunches atomic.Int64 // launches re-executed during recovery
 	ReplayedPoints   atomic.Int64 // point tasks re-executed during recovery
 }
@@ -245,8 +246,15 @@ func (s *Stats) AddCopy(l LinkClass, n int64) {
 		return
 	}
 	s.Copies.Add(1)
+	s.CopyCounts[l].Add(1)
 	s.CopiedBytes[l].Add(n)
 }
+
+// LinkCopies returns the number of copies recorded over link class l.
+func (s *Stats) LinkCopies(l LinkClass) int64 { return s.CopyCounts[l].Load() }
+
+// LinkBytes returns the bytes copied over link class l.
+func (s *Stats) LinkBytes(l LinkClass) int64 { return s.CopiedBytes[l].Load() }
 
 // TotalBytes returns all bytes copied, regardless of link class.
 func (s *Stats) TotalBytes() int64 {

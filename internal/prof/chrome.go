@@ -1,0 +1,153 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome-trace / Perfetto export of the per-processor timeline. The
+// emitted JSON is the Trace Event Format's object form: complete ("X")
+// events for spans, instant ("i") events for marks, and metadata ("M")
+// events naming processes and threads. Load it at ui.perfetto.dev or
+// chrome://tracing. Timestamps are *simulated* microseconds — the
+// runtime's modeled clock, not wall time (see DESIGN.md).
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level Trace Event Format object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace renders the snapshot's spans and marks as Chrome
+// trace JSON: one process per profiled run, one thread per simulated
+// processor.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	if t.DroppedSpans > 0 || t.DroppedLaunches > 0 {
+		f.OtherData = map[string]any{
+			"dropped_spans":    t.DroppedSpans,
+			"dropped_launches": t.DroppedLaunches,
+		}
+	}
+
+	// Metadata: name each run's process and each processor's thread.
+	type procKey struct{ run, proc int }
+	seenRun := map[int]bool{}
+	seenProc := map[procKey]int{} // -> node
+	for _, sp := range t.Spans {
+		seenRun[sp.Run] = true
+		seenProc[procKey{sp.Run, sp.Proc}] = sp.Node
+	}
+	runs := make([]int, 0, len(seenRun))
+	for r := range seenRun {
+		runs = append(runs, r)
+	}
+	sort.Ints(runs)
+	for _, r := range runs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: r,
+			Args: map[string]any{"name": fmt.Sprintf("run %d (simulated)", r)},
+		})
+	}
+	procs := make([]procKey, 0, len(seenProc))
+	for k := range seenProc {
+		procs = append(procs, k)
+	}
+	sort.Slice(procs, func(a, b int) bool {
+		if procs[a].run != procs[b].run {
+			return procs[a].run < procs[b].run
+		}
+		return procs[a].proc < procs[b].proc
+	})
+	for _, k := range procs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: k.run, Tid: k.proc,
+			Args: map[string]any{"name": fmt.Sprintf("proc %d (node %d)", k.proc, seenProc[k])},
+		})
+	}
+
+	for _, sp := range t.Spans {
+		args := map[string]any{
+			"launch": sp.Launch,
+			"point":  sp.Point,
+		}
+		cat := "task"
+		if sp.FusedMembers > 0 {
+			args["fused_members"] = sp.FusedMembers
+			cat = "fused"
+		}
+		if sp.TraceID != 0 {
+			args["trace_id"] = sp.TraceID
+			args["trace_epoch"] = sp.TraceEpoch
+			args["trace_replay"] = sp.TraceReplay
+		}
+		if sp.CkptEpoch != 0 {
+			args["ckpt_epoch"] = sp.CkptEpoch
+		}
+		if sp.Replay {
+			args["recovery_replay"] = true
+			cat = "replay"
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: sp.Task, Cat: cat, Ph: "X",
+			Ts: usec(sp.Start), Dur: usec(sp.Dur),
+			Pid: sp.Run, Tid: sp.Proc, Args: args,
+		})
+	}
+	for _, m := range t.Marks {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: m.Kind.String(), Cat: "runtime", Ph: "i",
+			Ts: usec(m.At), Pid: m.Run, Tid: m.Proc, Scope: "g",
+			Args: map[string]any{"task": m.Task, "bytes": m.Bytes},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// CheckSpans verifies the invariant the exporter relies on: within one
+// (run, processor) timeline, spans do not overlap. It returns the first
+// violation found, or nil.
+func (t *Trace) CheckSpans() error {
+	type procKey struct{ run, proc int }
+	byProc := map[procKey][]Span{}
+	for _, sp := range t.Spans {
+		if sp.Dur < 0 {
+			return fmt.Errorf("prof: span %q launch %d has negative duration %v", sp.Task, sp.Launch, sp.Dur)
+		}
+		k := procKey{sp.Run, sp.Proc}
+		byProc[k] = append(byProc[k], sp)
+	}
+	for k, spans := range byProc {
+		sort.Slice(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].End() {
+				return fmt.Errorf("prof: overlapping spans on run %d proc %d: %q [%v,%v) and %q [%v,%v)",
+					k.run, k.proc,
+					spans[i-1].Task, spans[i-1].Start, spans[i-1].End(),
+					spans[i].Task, spans[i].Start, spans[i].End())
+			}
+		}
+	}
+	return nil
+}

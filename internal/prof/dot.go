@@ -1,0 +1,112 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Graphviz DOT export of the dependence DAG — the Legion Spy role.
+// Each node is one launch, annotated with its point count and the
+// simulated span time its points consumed; each edge is a dependence
+// the dynamic analysis discovered (RAW/WAW/WAR). Fused carriers,
+// trace-replayed launches, and recovery-replayed launches are colored
+// so the optimization regimes are visible at a glance.
+//
+// Render with: dot -Tsvg deps.dot -o deps.svg
+
+// launchSpanStats aggregates the spans of one launch.
+type launchSpanStats struct {
+	maxDur time.Duration // longest point (the launch's critical weight)
+	sumDur time.Duration
+	count  int
+	replay bool
+}
+
+func (t *Trace) spanStats() map[launchKey]*launchSpanStats {
+	agg := map[launchKey]*launchSpanStats{}
+	for _, sp := range t.Spans {
+		k := launchKey{sp.Run, sp.Launch}
+		st := agg[k]
+		if st == nil {
+			st = &launchSpanStats{}
+			agg[k] = st
+		}
+		if sp.Dur > st.maxDur {
+			st.maxDur = sp.Dur
+		}
+		st.sumDur += sp.Dur
+		st.count++
+		if sp.Replay {
+			st.replay = true
+		}
+	}
+	return agg
+}
+
+// WriteDOT renders the snapshot's dependence DAG as Graphviz DOT, one
+// cluster per profiled run.
+func (t *Trace) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph deps {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=box, fontsize=10, style=filled, fillcolor=white];\n")
+	if t.DroppedLaunches > 0 || t.DroppedDeps > 0 {
+		fmt.Fprintf(&sb, "  // truncated: %d launches and %d edges dropped by the ring buffer\n",
+			t.DroppedLaunches, t.DroppedDeps)
+	}
+
+	agg := t.spanStats()
+	byRun := map[int][]LaunchInfo{}
+	for _, li := range t.Launches {
+		byRun[li.Run] = append(byRun[li.Run], li)
+	}
+	runs := make([]int, 0, len(byRun))
+	for r := range byRun {
+		runs = append(runs, r)
+	}
+	sort.Ints(runs)
+
+	for _, run := range runs {
+		fmt.Fprintf(&sb, "  subgraph cluster_run%d {\n", run)
+		fmt.Fprintf(&sb, "    label=\"run %d\";\n", run)
+		for _, li := range byRun[run] {
+			k := launchKey{li.Run, li.Seq}
+			label := fmt.Sprintf("%s #%d\\n%d pt", escape(li.Name), li.Seq, li.Points)
+			if st := agg[k]; st != nil {
+				label += fmt.Sprintf(", %v", st.maxDur.Round(time.Nanosecond))
+			}
+			var attrs []string
+			switch {
+			case agg[k] != nil && agg[k].replay:
+				attrs = append(attrs, "fillcolor=mistyrose")
+			case len(li.Members) > 0:
+				attrs = append(attrs, "fillcolor=lightblue")
+			case li.TraceReplay:
+				attrs = append(attrs, "fillcolor=lightyellow")
+			}
+			if len(li.Members) > 0 {
+				label += fmt.Sprintf("\\nfused: %s", escape(strings.Join(li.Members, "+")))
+			}
+			if li.TraceID != 0 {
+				label += fmt.Sprintf("\\ntrace %d epoch %d", li.TraceID, li.TraceEpoch)
+			}
+			attrs = append(attrs, fmt.Sprintf("label=\"%s\"", label))
+			fmt.Fprintf(&sb, "    l%d_%d [%s];\n", run, li.Seq, strings.Join(attrs, ", "))
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, d := range t.Deps {
+		fmt.Fprintf(&sb, "  l%d_%d -> l%d_%d;\n", d.Run, d.From, d.Run, d.To)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}

@@ -1,0 +1,314 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// The aggregate report: a critical-path analysis of the dependence DAG
+// and a per-link-class communication matrix.
+//
+// The critical path is the longest dependence chain through the run,
+// where each launch contributes its slowest point's simulated duration
+// (points of one launch run in parallel). Total work is the sum of all
+// span durations. Their ratio is the workload's *achievable-speedup
+// bound*: no schedule on any number of processors can beat
+// totalWork / criticalPath, so comparing the bound against the achieved
+// parallelism (totalWork / makespan) shows how much headroom fusion,
+// tracing, or a better mapping could still claim — exactly the
+// diagnosis Legion Prof timelines enable for the paper's GMG and
+// quantum overheads (§6.1).
+
+// LinkStat is the copy traffic over one machine link class.
+type LinkStat struct {
+	Link   string `json:"link"`
+	Copies int64  `json:"copies"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// PairStat is the copy traffic between one ordered processor pair.
+type PairStat struct {
+	Src    int    `json:"src"` // HostProc for host memory
+	Dst    int    `json:"dst"`
+	Link   string `json:"link"`
+	Copies int64  `json:"copies"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// PathStep is one launch on the critical path.
+type PathStep struct {
+	Seq    int64         `json:"seq"`
+	Name   string        `json:"name"`
+	Weight time.Duration `json:"weight"`
+}
+
+// RunReport is the critical-path analysis of one profiled runtime.
+type RunReport struct {
+	Run      int `json:"run"`
+	Launches int `json:"launches"`
+	Spans    int `json:"spans"`
+
+	TotalWork    time.Duration `json:"total_work"`    // sum of span durations
+	Makespan     time.Duration `json:"makespan"`      // max span end - min span start
+	CriticalPath time.Duration `json:"critical_path"` // longest dependence chain
+	PathLaunches int           `json:"path_launches"` // launches on that chain
+
+	// SpeedupBound = TotalWork / CriticalPath: no schedule can do better.
+	SpeedupBound float64 `json:"speedup_bound"`
+	// Parallelism = TotalWork / Makespan: what this run achieved.
+	Parallelism float64 `json:"parallelism"`
+
+	// TopPathTasks aggregates critical-path time by task name,
+	// descending — where an optimization pass should look first.
+	TopPathTasks []PathStep `json:"top_path_tasks,omitempty"`
+}
+
+// Report is the full aggregate over a Trace snapshot.
+type Report struct {
+	Runs  []RunReport `json:"runs"`
+	Links []LinkStat  `json:"links"`
+	Pairs []PairStat  `json:"pairs,omitempty"`
+
+	Faults      int `json:"faults,omitempty"`
+	Checkpoints int `json:"checkpoints,omitempty"`
+	Restores    int `json:"restores,omitempty"`
+	ProcDeaths  int `json:"proc_deaths,omitempty"`
+
+	DroppedSpans    int64 `json:"dropped_spans,omitempty"`
+	DroppedLaunches int64 `json:"dropped_launches,omitempty"`
+}
+
+// BuildReport computes the aggregate report for the snapshot.
+func (t *Trace) BuildReport() *Report {
+	rep := &Report{
+		DroppedSpans:    t.DroppedSpans,
+		DroppedLaunches: t.DroppedLaunches,
+	}
+
+	// Comms matrix.
+	type pairKey struct {
+		src, dst int
+		link     machine.LinkClass
+	}
+	links := map[machine.LinkClass]*LinkStat{}
+	pairs := map[pairKey]*PairStat{}
+	for _, c := range t.Copies {
+		ls := links[c.Link]
+		if ls == nil {
+			ls = &LinkStat{Link: c.Link.String()}
+			links[c.Link] = ls
+		}
+		ls.Copies++
+		ls.Bytes += c.Bytes
+		pk := pairKey{c.Src, c.Dst, c.Link}
+		ps := pairs[pk]
+		if ps == nil {
+			ps = &PairStat{Src: c.Src, Dst: c.Dst, Link: c.Link.String()}
+			pairs[pk] = ps
+		}
+		ps.Copies++
+		ps.Bytes += c.Bytes
+	}
+	for lc := machine.SameProc; lc <= machine.InterNode; lc++ {
+		if ls := links[lc]; ls != nil {
+			rep.Links = append(rep.Links, *ls)
+		}
+	}
+	for _, ps := range pairs {
+		rep.Pairs = append(rep.Pairs, *ps)
+	}
+	sort.Slice(rep.Pairs, func(a, b int) bool {
+		if rep.Pairs[a].Bytes != rep.Pairs[b].Bytes {
+			return rep.Pairs[a].Bytes > rep.Pairs[b].Bytes
+		}
+		if rep.Pairs[a].Src != rep.Pairs[b].Src {
+			return rep.Pairs[a].Src < rep.Pairs[b].Src
+		}
+		return rep.Pairs[a].Dst < rep.Pairs[b].Dst
+	})
+
+	for _, m := range t.Marks {
+		switch m.Kind {
+		case MarkFault:
+			rep.Faults++
+		case MarkCheckpoint:
+			rep.Checkpoints++
+		case MarkRestore:
+			rep.Restores++
+		case MarkProcDeath:
+			rep.ProcDeaths++
+		}
+	}
+
+	// Per-run critical path.
+	agg := t.spanStats()
+	byRun := map[int][]LaunchInfo{}
+	for _, li := range t.Launches {
+		byRun[li.Run] = append(byRun[li.Run], li)
+	}
+	depsTo := map[launchKey][]int64{}
+	for _, d := range t.Deps {
+		k := launchKey{d.Run, d.To}
+		depsTo[k] = append(depsTo[k], d.From)
+	}
+	runs := make([]int, 0, len(byRun))
+	for r := range byRun {
+		runs = append(runs, r)
+	}
+	sort.Ints(runs)
+	for _, run := range runs {
+		rep.Runs = append(rep.Runs, criticalPath(run, byRun[run], depsTo, agg, t))
+	}
+	return rep
+}
+
+// criticalPath runs the longest-path DP over one run's launches in
+// issue order (dependences always point from lower to higher seq, so
+// issue order is a topological order).
+func criticalPath(run int, launches []LaunchInfo, depsTo map[launchKey][]int64,
+	agg map[launchKey]*launchSpanStats, t *Trace) RunReport {
+	sort.Slice(launches, func(a, b int) bool { return launches[a].Seq < launches[b].Seq })
+	rr := RunReport{Run: run, Launches: len(launches)}
+
+	var minStart, maxEnd time.Duration
+	first := true
+	for _, sp := range t.Spans {
+		if sp.Run != run {
+			continue
+		}
+		rr.Spans++
+		rr.TotalWork += sp.Dur
+		if first || sp.Start < minStart {
+			minStart = sp.Start
+		}
+		if first || sp.End() > maxEnd {
+			maxEnd = sp.End()
+		}
+		first = false
+	}
+	if !first {
+		rr.Makespan = maxEnd - minStart
+	}
+
+	dist := make(map[int64]time.Duration, len(launches))
+	pred := make(map[int64]int64, len(launches))
+	var bestSeq int64
+	var best time.Duration
+	for _, li := range launches {
+		k := launchKey{run, li.Seq}
+		var w time.Duration
+		if st := agg[k]; st != nil {
+			w = st.maxDur
+		}
+		d := w
+		p := int64(0)
+		for _, from := range depsTo[k] {
+			if df, ok := dist[from]; ok && df+w > d {
+				d = df + w
+				p = from
+			}
+		}
+		dist[li.Seq] = d
+		pred[li.Seq] = p
+		if d > best {
+			best = d
+			bestSeq = li.Seq
+		}
+	}
+	rr.CriticalPath = best
+
+	// Walk the path back, aggregating weight by task name.
+	names := map[int64]string{}
+	for _, li := range launches {
+		names[li.Seq] = li.Name
+	}
+	byTask := map[string]time.Duration{}
+	for seq := bestSeq; seq != 0; seq = pred[seq] {
+		rr.PathLaunches++
+		var w time.Duration
+		if st := agg[launchKey{run, seq}]; st != nil {
+			w = st.maxDur
+		}
+		byTask[names[seq]] += w
+	}
+	for name, w := range byTask {
+		rr.TopPathTasks = append(rr.TopPathTasks, PathStep{Name: name, Weight: w})
+	}
+	sort.Slice(rr.TopPathTasks, func(a, b int) bool {
+		if rr.TopPathTasks[a].Weight != rr.TopPathTasks[b].Weight {
+			return rr.TopPathTasks[a].Weight > rr.TopPathTasks[b].Weight
+		}
+		return rr.TopPathTasks[a].Name < rr.TopPathTasks[b].Name
+	})
+	if len(rr.TopPathTasks) > 8 {
+		rr.TopPathTasks = rr.TopPathTasks[:8]
+	}
+
+	if rr.CriticalPath > 0 {
+		rr.SpeedupBound = float64(rr.TotalWork) / float64(rr.CriticalPath)
+	}
+	if rr.Makespan > 0 {
+		rr.Parallelism = float64(rr.TotalWork) / float64(rr.Makespan)
+	}
+	return rr
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, rr := range r.Runs {
+		fmt.Fprintf(&sb, "run %d: %d launches, %d spans\n", rr.Run, rr.Launches, rr.Spans)
+		fmt.Fprintf(&sb, "  total work      %14v\n", rr.TotalWork)
+		fmt.Fprintf(&sb, "  makespan        %14v   (achieved parallelism %.2fx)\n", rr.Makespan, rr.Parallelism)
+		fmt.Fprintf(&sb, "  critical path   %14v   over %d launches\n", rr.CriticalPath, rr.PathLaunches)
+		fmt.Fprintf(&sb, "  speedup bound   %14.2fx  (no schedule can beat total/critical)\n", rr.SpeedupBound)
+		if len(rr.TopPathTasks) > 0 {
+			sb.WriteString("  critical-path time by task:\n")
+			for _, st := range rr.TopPathTasks {
+				fmt.Fprintf(&sb, "    %-28s %14v\n", st.Name, st.Weight)
+			}
+		}
+	}
+	if len(r.Links) > 0 {
+		sb.WriteString("comms matrix (by link class):\n")
+		fmt.Fprintf(&sb, "  %-12s %10s %14s\n", "link", "copies", "bytes")
+		for _, ls := range r.Links {
+			fmt.Fprintf(&sb, "  %-12s %10d %14d\n", ls.Link, ls.Copies, ls.Bytes)
+		}
+	}
+	if n := len(r.Pairs); n > 0 {
+		show := n
+		if show > 10 {
+			show = 10
+		}
+		fmt.Fprintf(&sb, "top processor pairs (%d of %d):\n", show, n)
+		for _, ps := range r.Pairs[:show] {
+			src := fmt.Sprintf("proc %d", ps.Src)
+			if ps.Src == HostProc {
+				src = "host"
+			}
+			fmt.Fprintf(&sb, "  %-10s -> proc %-4d %-12s %10d %14d\n", src, ps.Dst, ps.Link, ps.Copies, ps.Bytes)
+		}
+	}
+	if r.Faults+r.Checkpoints+r.Restores+r.ProcDeaths > 0 {
+		fmt.Fprintf(&sb, "faults=%d checkpoints=%d restores=%d proc-deaths=%d\n",
+			r.Faults, r.Checkpoints, r.Restores, r.ProcDeaths)
+	}
+	if r.DroppedSpans > 0 || r.DroppedLaunches > 0 {
+		fmt.Fprintf(&sb, "ring overflow: %d spans, %d launches dropped\n", r.DroppedSpans, r.DroppedLaunches)
+	}
+	return sb.String()
+}
