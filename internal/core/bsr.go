@@ -3,12 +3,10 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/constraint"
 	"repro/internal/cunumeric"
 	"repro/internal/distal"
 	"repro/internal/geometry"
 	"repro/internal/legion"
-	"repro/internal/machine"
 )
 
 // BSR is a block-sparse-rows matrix: the matrix is tiled into dense
@@ -142,88 +140,10 @@ func (a *BSR) ToCSR() *CSR {
 // SpMVInto computes y = A @ x for a BSR matrix: block rows are
 // distributed like CSR rows, the vals partition is the block-scaled
 // image of pos, and x's partition is the block-scaled image of crd —
-// the same constraint structure as Figure 4, lifted to blocks.
-func (a *BSR) SpMVInto(y, x *cunumeric.Array) {
-	if x.Len() != a.cols || y.Len() != a.rows {
-		panic(fmt.Sprintf("core: BSR SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
-	}
-	rt := a.rt
-	colors := rt.LaunchDomain()
-	bs := a.blockSize
-	bRows := a.rows / bs
-
-	// Partitions: block rows tiled; y rows follow block rows; crd via
-	// image of pos; vals and x via block-scaled images.
-	posPart := rt.BlockPartition(a.pos, colors)
-	crdPart := rt.ImageRange(a.pos, posPart, a.crd)
-	yRects := make([]geometry.Rect, colors)
-	valSets := make([]geometry.IntervalSet, colors)
-	xSets := make([]geometry.IntervalSet, colors)
-	rt.Fence()
-	crdData := a.crd.Int64s()
-	for c := 0; c < colors; c++ {
-		// y rows: the element rows of this color's block rows.
-		br := geometry.Tile(geometry.NewRect(0, bRows-1), colors)[c]
-		if br.Empty() {
-			yRects[c] = geometry.EmptyRect
-			valSets[c] = geometry.IntervalSet{}
-			xSets[c] = geometry.IntervalSet{}
-			continue
-		}
-		yRects[c] = geometry.NewRect(br.Lo*bs, br.Hi*bs+bs-1)
-		// vals: blockSize² values per stored block of this color.
-		var vs geometry.IntervalSet
-		for _, rct := range crdPart.Subspace(c).Rects() {
-			vs = vs.UnionRect(geometry.NewRect(rct.Lo*bs*bs, rct.Hi*bs*bs+bs*bs-1))
-		}
-		valSets[c] = vs
-		// x: the element columns of the referenced block columns.
-		var xs geometry.IntervalSet
-		crdPart.Subspace(c).Each(func(k int64) {
-			bc := crdData[k]
-			xs = xs.UnionRect(geometry.NewRect(bc*bs, bc*bs+bs-1))
-		})
-		xSets[c] = xs
-	}
-	yPart := rt.PartitionByRects(y.Region(), yRects)
-	valsPart := rt.PartitionBySets(a.vals, valSets)
-	xPart := rt.PartitionBySets(x.Region(), xSets)
-
-	task := constraint.NewTask(rt, "sparse.spmv_bsr", func(tc *legion.TaskContext) {
-		yv, pv, cv, vv, xv := tc.Float64(0), tc.Rects(1), tc.Int64(2), tc.Float64(3), tc.Float64(4)
-		var work int64
-		tc.Subspace(1).Each(func(br int64) {
-			rowBase := br * bs
-			for k := pv[br].Lo; k <= pv[br].Hi; k++ {
-				colBase := cv[k] * bs
-				blk := vv[k*bs*bs : (k+1)*bs*bs]
-				for bi := int64(0); bi < bs; bi++ {
-					var acc float64
-					row := blk[bi*bs : (bi+1)*bs]
-					for bj := int64(0); bj < bs; bj++ {
-						acc += row[bj] * xv[colBase+bj]
-					}
-					yv[rowBase+bi] += acc
-				}
-				work += bs * bs
-			}
-		})
-		tc.SetWorkElems(work)
-	})
-	y.Fill(0)
-	vy := task.AddInOut(y.Region())
-	vpos := task.AddInput(a.pos)
-	vcrd := task.AddInput(a.crd)
-	vvals := task.AddInput(a.vals)
-	vx := task.AddInput(x.Region())
-	task.UsePartition(vy, yPart)
-	task.UsePartition(vpos, posPart)
-	task.UsePartition(vcrd, crdPart)
-	task.UsePartition(vvals, valsPart)
-	task.UsePartition(vx, xPart)
-	task.SetOpClass(machine.SparseIter)
-	task.Execute()
-}
+// the same constraint structure as Figure 4, lifted to blocks. The
+// launch goes through the generic planner and the registry's compiled
+// BSR variant (the §5.4 extension kernels).
+func (a *BSR) SpMVInto(y, x *cunumeric.Array) { spmvLaunch(a, y, x) }
 
 // SpMV allocates and returns y = A @ x.
 func (a *BSR) SpMV(x *cunumeric.Array) *cunumeric.Array {
@@ -243,7 +163,7 @@ func (a *BSR) Scale(alpha float64) { cunumeric.FromRegion(a.vals).Scale(alpha) }
 // The conversion is performed once per call and surfaces in the
 // runtime's profile under the conversion tasks rather than silently.
 func (a *BSR) SpMM(x *cunumeric.Matrix) *cunumeric.Matrix {
-	if _, ok := distal.Standard.Lookup("spmm", distal.BSRFormat, kernelTarget(a.rt)); ok {
+	if _, ok := distal.Standard.Lookup("spmm", distal.BSR, kernelTarget(a.rt)); ok {
 		panic("core: BSR SpMM variant appeared; remove the fallback")
 	}
 	csr := a.ToCSR()

@@ -22,39 +22,68 @@ func kernelTarget(rt *legion.Runtime) distal.Target {
 	return distal.CPUThread
 }
 
-// SpMVInto computes y = A @ x using the row-split DISTAL kernel with the
-// constraint set of the paper's Figure 4: align(y, pos),
-// image(pos, {crd, vals}), image(crd, x).
-func (a *CSR) SpMVInto(y, x *cunumeric.Array) {
-	if x.Len() != a.cols || y.Len() != a.rows {
+// spmvLaunch is the single format-generic launch planner every SpMV
+// goes through: it packs the operands in the spec's layout, derives the
+// partitions from the spec's distribution constraint, and dispatches
+// into the DISTAL registry keyed on (op, format, target). What used to
+// be one hand-written copy of this recipe per format is now data in
+// FormatSpec.
+func spmvLaunch(a SparseMatrix, y, x *cunumeric.Array) {
+	rows, cols := a.Shape()
+	if x.Len() != cols || y.Len() != rows {
 		panic(fmt.Sprintf("core: SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
 	}
-	k := distal.Standard.MustLookup("spmv", distal.CSR, kernelTarget(a.rt))
-	task := constraint.NewTask(a.rt, "sparse.spmv", func(tc *legion.TaskContext) {
-		bounds := tc.Bounds(0)
+	spec := a.Spec()
+	rt := a.Runtime()
+	k, ok := distal.Standard.Lookup("spmv", spec.Distal, kernelTarget(rt))
+	if !ok {
+		// No compiled variant for this (format, target): fall back
+		// through a CSR conversion, paying the format-conversion cost
+		// the paper's third composition layer warns about (§1).
+		c, done := AsCSR(a)
+		defer done()
+		spmvLaunch(c, y, x)
+		return
+	}
+	if spec.scatter {
+		y.Fill(0)
+	}
+	task := constraint.NewTask(rt, spec.TaskName, func(tc *legion.TaskContext) {
+		bounds := tc.Bounds(spec.boundsSlot)
 		if bounds.Empty() {
 			return
 		}
 		s := getSpMVScratch()
-		s.y.Vals = tc.Float64(0)
-		s.A.Pos, s.A.Crd, s.A.Vals = tc.Rects(1), tc.Int64(2), tc.Float64(3)
-		s.x.Vals = tc.Float64(4)
+		spec.bind(a, s, tc)
 		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
+		if spec.scatter {
+			s.args.Accum = func(idx int64, v float64) { tc.ReduceAdd(0, idx, v) }
+		}
 		k.Exec(&s.args)
 		tc.SetWorkElems(k.WorkEstimate(&s.args))
 		s.release()
 	})
-	vy := task.AddOutput(y.Region())
-	vpos := task.AddInput(a.pos)
-	vcrd := task.AddInput(a.crd)
-	vvals := task.AddInput(a.vals)
+	var vy constraint.Var
+	if spec.scatter {
+		vy = task.AddReduction(y.Region())
+	} else {
+		vy = task.AddOutput(y.Region())
+	}
+	regions := a.Pack()
+	pack := make([]constraint.Var, len(regions))
+	for i, r := range regions {
+		pack[i] = task.AddInput(r)
+	}
 	vx := task.AddInput(x.Region())
-	task.Align(vy, vpos)
-	task.Image(vpos, vcrd, vvals)
-	task.Image(vcrd, vx)
+	spec.constrain(task, a, vy, vx, pack, y, x)
 	task.SetOpClass(machine.SparseIter)
 	task.Execute()
 }
+
+// SpMVInto computes y = A @ x through the generic planner with CSR's
+// Figure 4 constraints: align(y, pos), image(pos, {crd, vals}),
+// image(crd, x).
+func (a *CSR) SpMVInto(y, x *cunumeric.Array) { spmvLaunch(a, y, x) }
 
 // SpMV allocates and returns y = A @ x (the `A @ x` of Figure 1).
 func (a *CSR) SpMV(x *cunumeric.Array) *cunumeric.Array {
@@ -66,37 +95,7 @@ func (a *CSR) SpMV(x *cunumeric.Array) *cunumeric.Array {
 // SpMVInto computes y = A @ x for a CSC matrix: the generated kernel
 // iterates columns and scatters into y, so y is a reduction operand
 // whose partition is the (aliased) image of crd.
-func (a *CSC) SpMVInto(y, x *cunumeric.Array) {
-	if x.Len() != a.cols || y.Len() != a.rows {
-		panic(fmt.Sprintf("core: CSC SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
-	}
-	y.Fill(0)
-	k := distal.Standard.MustLookup("spmv_csc", distal.CSR, kernelTarget(a.rt))
-	task := constraint.NewTask(a.rt, "sparse.spmv_csc", func(tc *legion.TaskContext) {
-		bounds := tc.Bounds(1) // pos subspace: the columns this point owns
-		if bounds.Empty() {
-			return
-		}
-		s := getSpMVScratch()
-		s.A.Pos, s.A.Crd, s.A.Vals = tc.Rects(1), tc.Int64(2), tc.Float64(3)
-		s.x.Vals = tc.Float64(4)
-		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
-		s.args.Accum = func(idx int64, v float64) { tc.ReduceAdd(0, idx, v) }
-		k.Exec(&s.args)
-		tc.SetWorkElems(k.WorkEstimate(&s.args))
-		s.release()
-	})
-	vy := task.AddReduction(y.Region())
-	vpos := task.AddInput(a.pos)
-	vcrd := task.AddInput(a.crd)
-	vvals := task.AddInput(a.vals)
-	vx := task.AddInput(x.Region())
-	task.Align(vx, vpos) // x is indexed by columns, like pos
-	task.Image(vpos, vcrd, vvals)
-	task.Image(vcrd, vy) // scattered rows
-	task.SetOpClass(machine.SparseIter)
-	task.Execute()
-}
+func (a *CSC) SpMVInto(y, x *cunumeric.Array) { spmvLaunch(a, y, x) }
 
 // SpMV allocates and returns y = A @ x.
 func (a *CSC) SpMV(x *cunumeric.Array) *cunumeric.Array {
@@ -109,32 +108,7 @@ func (a *CSC) SpMV(x *cunumeric.Array) *cunumeric.Array {
 // stored entry: the nnz space is block-partitioned, x's partition is the
 // image of the col region, and y's the (aliased) image of the row
 // region.
-func (a *COO) SpMVInto(y, x *cunumeric.Array) {
-	if x.Len() != a.cols || y.Len() != a.rows {
-		panic(fmt.Sprintf("core: COO SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
-	}
-	y.Fill(0)
-	task := constraint.NewTask(a.rt, "sparse.spmv_coo", func(tc *legion.TaskContext) {
-		rows, cols, vals, xv := tc.Int64(1), tc.Int64(2), tc.Float64(3), tc.Float64(4)
-		var n int64
-		tc.Subspace(1).Each(func(k int64) {
-			tc.ReduceAdd(0, rows[k], vals[k]*xv[cols[k]])
-			n++
-		})
-		tc.SetWorkElems(n)
-	})
-	vy := task.AddReduction(y.Region())
-	vrow := task.AddInput(a.row)
-	vcol := task.AddInput(a.col)
-	vvals := task.AddInput(a.vals)
-	vx := task.AddInput(x.Region())
-	task.Align(vrow, vcol)
-	task.Align(vrow, vvals)
-	task.Image(vrow, vy)
-	task.Image(vcol, vx)
-	task.SetOpClass(machine.SparseIter)
-	task.Execute()
-}
+func (a *COO) SpMVInto(y, x *cunumeric.Array) { spmvLaunch(a, y, x) }
 
 // SpMV allocates and returns y = A @ x.
 func (a *COO) SpMV(x *cunumeric.Array) *cunumeric.Array {
@@ -191,61 +165,7 @@ func (a *COO) SpMVOwnerInto(y, x *cunumeric.Array) {
 // computed explicitly as the union of the row block shifted by every
 // stored offset (a fixed-width halo), and the data partition selects the
 // matching slice of each diagonal.
-func (a *DIA) SpMVInto(y, x *cunumeric.Array) {
-	if x.Len() != a.cols || y.Len() != a.rows {
-		panic(fmt.Sprintf("core: DIA SpMV shape mismatch: %v with x[%d] -> y[%d]", a, x.Len(), y.Len()))
-	}
-	rt := a.rt
-	colors := rt.LaunchDomain()
-	rowTiles := geometry.Tile(geometry.NewRect(0, a.rows-1), colors)
-	xSets := make([]geometry.IntervalSet, colors)
-	dataSets := make([]geometry.IntervalSet, colors)
-	xDom := geometry.NewRect(0, a.cols-1)
-	for c, tile := range rowTiles {
-		var xs, ds geometry.IntervalSet
-		if !tile.Empty() {
-			for d, off := range a.offsets {
-				cols := tile.Shift(off).Intersect(xDom)
-				if cols.Empty() {
-					continue
-				}
-				xs = xs.UnionRect(cols)
-				ds = ds.UnionRect(cols.Shift(int64(d) * a.cols))
-			}
-		}
-		xSets[c] = xs
-		dataSets[c] = ds
-	}
-	yPart := rt.BlockPartition(y.Region(), colors)
-	xPart := rt.PartitionBySets(x.Region(), xSets)
-	dataPart := rt.PartitionBySets(a.data, dataSets)
-
-	offsets := a.offsets
-	nCols := a.cols
-	k := distal.Standard.MustLookup("spmv", distal.DIA, kernelTarget(rt))
-	task := constraint.NewTask(rt, "sparse.spmv_dia", func(tc *legion.TaskContext) {
-		bounds := tc.Bounds(0)
-		if bounds.Empty() {
-			return
-		}
-		s := getSpMVScratch()
-		s.y.Vals = tc.Float64(0)
-		s.A.Vals, s.A.Stride, s.A.Offsets = tc.Float64(1), nCols, offsets
-		s.x.Vals = tc.Float64(2)
-		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
-		k.Exec(&s.args)
-		tc.SetWorkElems(k.WorkEstimate(&s.args))
-		s.release()
-	})
-	vy := task.AddOutput(y.Region())
-	vd := task.AddInput(a.data)
-	vx := task.AddInput(x.Region())
-	task.UsePartition(vy, yPart)
-	task.UsePartition(vd, dataPart)
-	task.UsePartition(vx, xPart)
-	task.SetOpClass(machine.SparseIter)
-	task.Execute()
-}
+func (a *DIA) SpMVInto(y, x *cunumeric.Array) { spmvLaunch(a, y, x) }
 
 // SpMV allocates and returns y = A @ x.
 func (a *DIA) SpMV(x *cunumeric.Array) *cunumeric.Array {

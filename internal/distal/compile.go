@@ -18,6 +18,12 @@ type Operand struct {
 	// Offsets identifies the stored diagonals of a DIA operand, whose
 	// Vals hold len(Offsets) x Stride values (Stride = matrix columns).
 	Offsets []int64
+	// Crd2 holds the singleton-level coordinates of a COO operand: Crd
+	// carries the row of each stored entry and Crd2 its column.
+	Crd2 []int64
+	// BlockSize is the dense tile edge of a BSR operand, whose Vals hold
+	// BlockSize² values per stored block.
+	BlockSize int64
 }
 
 // Args carries the per-point-task inputs of a generated kernel: the
@@ -95,6 +101,14 @@ func Compile(p Program) (*Kernel, error) {
 		k.Pattern = "spmv-col"
 		k.Exec = emitSpMVColumn(p, sparseOps[0], denseOps[0])
 		k.WorkEstimate = nnzWork(sparseOps[0].Tensor)
+	case matchSpMVCOO(p, lhsVars, sparseOps, denseOps):
+		k.Pattern = "spmv-coo"
+		k.Exec = emitSpMVCOO(p, sparseOps[0], denseOps[0])
+		k.WorkEstimate = entryWork()
+	case matchSpMVBSR(p, lhsVars, sparseOps, denseOps):
+		k.Pattern = "spmv-bsr"
+		k.Exec = emitSpMVBSR(p, sparseOps[0], denseOps[0])
+		k.WorkEstimate = blockWork(sparseOps[0].Tensor)
 	case matchSpMM(p, lhsVars, sparseOps, denseOps):
 		k.Pattern = "spmm"
 		k.Exec = emitSpMM(p, sparseOps[0], denseOps[0])
@@ -128,7 +142,7 @@ func MustCompile(p Program) *Kernel {
 func (p Program) RHSAccesses() []Access { return p.Compute.RHS }
 
 func isSparse(f Format) bool {
-	for _, m := range f {
+	for _, m := range f.Modes {
 		if m != Dense {
 			return true
 		}
@@ -143,9 +157,9 @@ func validate(p Program) error {
 		if !ok {
 			return &CompileError{Program: p.Name, Reason: fmt.Sprintf("no format for tensor %q", acc.Tensor)}
 		}
-		if len(f) != len(acc.Vars) {
+		if f.Arity() != len(acc.Vars) {
 			return &CompileError{Program: p.Name, Reason: fmt.Sprintf(
-				"tensor %q accessed with %d vars but format has %d modes", acc.Tensor, len(acc.Vars), len(f))}
+				"tensor %q accessed with %d vars but format has %d modes", acc.Tensor, len(acc.Vars), f.Arity())}
 		}
 	}
 	if len(p.Compute.RHS) == 0 {
@@ -225,17 +239,42 @@ func matchSpMVDia(p Program, lhs map[IndexVar]bool, sp, dn []Access) bool {
 		a.Vars[0] == p.Compute.LHS.Vars[0] && a.Vars[1] == x.Vars[0] && !lhs[a.Vars[1]]
 }
 
-// y(j) = A(i,j) * x(i): A stored CSR over i, output indexed by the
-// compressed variable — a scatter (how a CSC matrix applies when stored
-// as the CSR of its transpose's pattern over columns).
+// y(j) = A(i,j) * x(i): A stored CSC — compressed over its outer
+// (column) dimension, with the output indexed by the compressed rows of
+// each column's entries — a scatter. The operand's Pos/Crd arrays are
+// the per-column ranges and row coordinates of Figure 3 transposed.
 func matchSpMVColumn(p Program, lhs map[IndexVar]bool, sp, dn []Access) bool {
 	if len(sp) != 1 || len(dn) != 1 || len(p.Compute.RHS) != 2 {
 		return false
 	}
 	a, x := sp[0], dn[0]
-	return p.Formats[a.Tensor].Equal(CSR) &&
+	return p.Formats[a.Tensor].Equal(CSC) &&
 		len(a.Vars) == 2 && len(x.Vars) == 1 && len(p.Compute.LHS.Vars) == 1 &&
 		a.Vars[1] == p.Compute.LHS.Vars[0] && a.Vars[0] == x.Vars[0] && !lhs[a.Vars[0]]
+}
+
+// y(i) = A(i,j) * x(j), A stored COO: parallel coordinate arrays, one
+// entry per nonzero, distributed over the entry space.
+func matchSpMVCOO(p Program, lhs map[IndexVar]bool, sp, dn []Access) bool {
+	if len(sp) != 1 || len(dn) != 1 || len(p.Compute.RHS) != 2 {
+		return false
+	}
+	a, x := sp[0], dn[0]
+	return p.Formats[a.Tensor].Equal(COO) &&
+		len(a.Vars) == 2 && len(x.Vars) == 1 && len(p.Compute.LHS.Vars) == 1 &&
+		a.Vars[0] == p.Compute.LHS.Vars[0] && a.Vars[1] == x.Vars[0] && !lhs[a.Vars[1]]
+}
+
+// y(i) = A(i,j) * x(j), A stored BSR: block rows distributed like CSR
+// rows, with a dense BlockSize² tile per stored block coordinate.
+func matchSpMVBSR(p Program, lhs map[IndexVar]bool, sp, dn []Access) bool {
+	if len(sp) != 1 || len(dn) != 1 || len(p.Compute.RHS) != 2 {
+		return false
+	}
+	a, x := sp[0], dn[0]
+	return p.Formats[a.Tensor].Equal(BSR) &&
+		len(a.Vars) == 2 && len(x.Vars) == 1 && len(p.Compute.LHS.Vars) == 1 &&
+		a.Vars[0] == p.Compute.LHS.Vars[0] && a.Vars[1] == x.Vars[0] && !lhs[a.Vars[1]]
 }
 
 // Y(i,k) = A(i,j) * X(j,k), A CSR, X/Y dense matrices.
@@ -340,6 +379,58 @@ func emitSpMVColumn(p Program, a, x Access) func(*Args) {
 	}
 }
 
+// emitSpMVCOO scatters one stored entry per iteration of the entry
+// space [Lo, Hi]: Crd holds rows, Crd2 columns. Like the column kernel,
+// an aliased output partition supplies Accum for atomic accumulation.
+func emitSpMVCOO(p Program, a, x Access) func(*Args) {
+	yName, aName, xName := p.Compute.LHS.Tensor, a.Tensor, x.Tensor
+	return func(ar *Args) {
+		A := ar.Ops[aName]
+		xv := ar.Ops[xName].Vals
+		add := ar.Accum
+		if add == nil {
+			y := ar.Ops[yName].Vals
+			add = func(idx int64, v float64) { y[idx] += v }
+		}
+		for k := ar.Lo; k <= ar.Hi; k++ {
+			add(A.Crd[k], A.Vals[k]*xv[A.Crd2[k]])
+		}
+	}
+}
+
+// emitSpMVBSR is owner-computes over block rows [Lo, Hi]: each point
+// zeroes its own element rows, then accumulates one dense
+// BlockSize x BlockSize tile per stored block — Figure 4's constraint
+// structure lifted to blocks, with no reduction privilege needed.
+func emitSpMVBSR(p Program, a, x Access) func(*Args) {
+	yName, aName, xName := p.Compute.LHS.Tensor, a.Tensor, x.Tensor
+	return func(ar *Args) {
+		y := ar.Ops[yName].Vals
+		A := ar.Ops[aName]
+		xv := ar.Ops[xName].Vals
+		bs := A.BlockSize
+		for br := ar.Lo; br <= ar.Hi; br++ {
+			rowBase := br * bs
+			for i := rowBase; i < rowBase+bs; i++ {
+				y[i] = 0
+			}
+			r := A.Pos[br]
+			for k := r.Lo; k <= r.Hi; k++ {
+				colBase := A.Crd[k] * bs
+				blk := A.Vals[k*bs*bs : (k+1)*bs*bs]
+				for bi := int64(0); bi < bs; bi++ {
+					var acc float64
+					row := blk[bi*bs : (bi+1)*bs]
+					for bj := int64(0); bj < bs; bj++ {
+						acc += row[bj] * xv[colBase+bj]
+					}
+					y[rowBase+bi] += acc
+				}
+			}
+		}
+	}
+}
+
 func emitSpMM(p Program, a, x Access) func(*Args) {
 	yName, aName, xName := p.Compute.LHS.Tensor, a.Tensor, x.Tensor
 	return func(ar *Args) {
@@ -421,6 +512,23 @@ func diaWork(sparse string) func(*Args) int64 {
 	return func(ar *Args) int64 {
 		A := ar.Ops[sparse]
 		return (ar.Hi - ar.Lo + 1) * int64(len(A.Offsets))
+	}
+}
+
+// entryWork: a COO tile's work is its entry count.
+func entryWork() func(*Args) int64 {
+	return func(ar *Args) int64 { return ar.Hi - ar.Lo + 1 }
+}
+
+// blockWork: a BSR tile's work is its stored blocks times BlockSize².
+func blockWork(sparse string) func(*Args) int64 {
+	return func(ar *Args) int64 {
+		A := ar.Ops[sparse]
+		var n int64
+		for br := ar.Lo; br <= ar.Hi; br++ {
+			n += A.Pos[br].Size()
+		}
+		return n * A.BlockSize * A.BlockSize
 	}
 }
 

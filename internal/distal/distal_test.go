@@ -60,24 +60,37 @@ func approxEqual(a, b []float64, tol float64) bool {
 
 func TestStandardRegistryComplete(t *testing.T) {
 	keys := Standard.Keys()
-	// 5 CSR operations + 1 DIA operation, x 2 processor varieties.
-	if len(keys) != 12 {
-		t.Fatalf("registry has %d variants, want 12: %v", len(keys), keys)
+	// spmv over 5 formats + 3 CSR-only operations, x 2 processor
+	// varieties.
+	if len(keys) != 16 {
+		t.Fatalf("registry has %d variants, want 16: %v", len(keys), keys)
 	}
-	for _, op := range []string{"spmv", "spmv_csc", "spmm", "sddmm", "row_sum"} {
+	for _, op := range []string{"spmv", "spmm", "sddmm", "row_sum"} {
 		for _, tgt := range []Target{CPUThread, GPUThread} {
 			if _, ok := Standard.Lookup(op, CSR, tgt); !ok {
 				t.Errorf("missing variant %s/%v", op, tgt)
 			}
 		}
 	}
-	for _, tgt := range []Target{CPUThread, GPUThread} {
-		if _, ok := Standard.Lookup("spmv", DIA, tgt); !ok {
-			t.Errorf("missing DIA spmv variant for %v", tgt)
+	for _, f := range []Format{CSC, COO, DIA, BSR} {
+		for _, tgt := range []Target{CPUThread, GPUThread} {
+			if _, ok := Standard.Lookup("spmv", f, tgt); !ok {
+				t.Errorf("missing %v spmv variant for %v", f, tgt)
+			}
 		}
 	}
 	if _, ok := Standard.Lookup("spmv", DenseMatrix, CPUThread); ok {
 		t.Error("lookup with wrong format must miss")
+	}
+	// CSR and CSC share level modes; the name tag must keep their keys
+	// distinct (the registry mislabeling this layout fixes).
+	csr, _ := Standard.Lookup("spmv", CSR, CPUThread)
+	csc, _ := Standard.Lookup("spmv", CSC, CPUThread)
+	if csr == csc {
+		t.Error("CSR and CSC spmv variants must be distinct registry entries")
+	}
+	if csc.Pattern != "spmv-col" {
+		t.Errorf("CSC spmv pattern = %q, want spmv-col", csc.Pattern)
 	}
 }
 
@@ -152,7 +165,7 @@ func TestSpMVAgainstDenseReference(t *testing.T) {
 // when the operand stores A's pattern compressed over rows of the
 // transpose.
 func TestSpMVColumnScatter(t *testing.T) {
-	k := Standard.MustLookup("spmv_csc", CSR, CPUThread)
+	k := Standard.MustLookup("spmv", CSC, CPUThread)
 	rng := rand.New(rand.NewSource(7))
 	rows, cols := int64(25), int64(19)
 	Aop, ref := randomCSR(rng, rows, cols, 0.25)
@@ -337,14 +350,129 @@ func TestDIASpMVKernel(t *testing.T) {
 	}
 }
 
+// TestCOOSpMVKernel: the coordinate-format scatter template matches a
+// dense reference, through both the direct store and the accumulator
+// path (aliased output partitions).
+func TestCOOSpMVKernel(t *testing.T) {
+	k := Standard.MustLookup("spmv", COO, CPUThread)
+	if k.Pattern != "spmv-coo" {
+		t.Fatalf("pattern = %q", k.Pattern)
+	}
+	rng := rand.New(rand.NewSource(23))
+	rows, cols := int64(18), int64(14)
+	csr, ref := randomCSR(rng, rows, cols, 0.3)
+	// Expand the CSR fixture into coordinate arrays.
+	Aop := &Operand{Vals: csr.Vals}
+	for i := int64(0); i < rows; i++ {
+		for kk := csr.Pos[i].Lo; kk <= csr.Pos[i].Hi; kk++ {
+			Aop.Crd = append(Aop.Crd, i)
+			Aop.Crd2 = append(Aop.Crd2, csr.Crd[kk])
+		}
+	}
+	nnz := int64(len(Aop.Crd))
+	x := denseVec(rng, cols)
+	want := make([]float64, rows)
+	for i := int64(0); i < rows; i++ {
+		for j := int64(0); j < cols; j++ {
+			want[i] += ref[i][j] * x.Vals[j]
+		}
+	}
+	y := &Operand{Vals: make([]float64, rows)}
+	args := &Args{Ops: map[string]*Operand{"y": y, "A": Aop, "x": x}, Lo: 0, Hi: nnz - 1}
+	k.Exec(args)
+	if !approxEqual(y.Vals, want, 1e-9) {
+		t.Fatal("COO SpMV mismatch")
+	}
+	if got := k.WorkEstimate(args); got != nnz {
+		t.Fatalf("work = %d, want %d", got, nnz)
+	}
+	y2 := make([]float64, rows)
+	k.Exec(&Args{
+		Ops: map[string]*Operand{"y": {}, "A": Aop, "x": x},
+		Lo:  0, Hi: nnz - 1,
+		Accum: func(idx int64, v float64) { y2[idx] += v },
+	})
+	if !approxEqual(y2, want, 1e-9) {
+		t.Fatal("COO accumulator path mismatch")
+	}
+}
+
+// TestBSRSpMVKernel: the blocked template matches a dense reference and
+// honors the block-row tile, zeroing only its own element rows.
+func TestBSRSpMVKernel(t *testing.T) {
+	k := Standard.MustLookup("spmv", BSR, CPUThread)
+	if k.Pattern != "spmv-bsr" {
+		t.Fatalf("pattern = %q", k.Pattern)
+	}
+	rng := rand.New(rand.NewSource(31))
+	bs, bRows, bCols := int64(3), int64(6), int64(5)
+	n, m := bRows*bs, bCols*bs
+	dense := make([]float64, n*m)
+	Aop := &Operand{Pos: make([]geometry.Rect, bRows), BlockSize: bs}
+	for br := int64(0); br < bRows; br++ {
+		lo := int64(len(Aop.Crd))
+		for bc := int64(0); bc < bCols; bc++ {
+			if rng.Float64() > 0.4 {
+				continue
+			}
+			Aop.Crd = append(Aop.Crd, bc)
+			for bi := int64(0); bi < bs; bi++ {
+				for bj := int64(0); bj < bs; bj++ {
+					v := rng.NormFloat64()
+					Aop.Vals = append(Aop.Vals, v)
+					dense[(br*bs+bi)*m+bc*bs+bj] = v
+				}
+			}
+		}
+		Aop.Pos[br] = geometry.NewRect(lo, int64(len(Aop.Crd))-1)
+	}
+	x := denseVec(rng, m)
+	want := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < m; j++ {
+			want[i] += dense[i*m+j] * x.Vals[j]
+		}
+	}
+	// Stale output values inside the tile must be overwritten (the
+	// kernel zeroes its own rows); rows outside stay untouched.
+	y := &Operand{Vals: make([]float64, n)}
+	for i := range y.Vals {
+		y.Vals[i] = math.NaN()
+	}
+	args := &Args{Ops: map[string]*Operand{"y": y, "A": Aop, "x": x}, Lo: 1, Hi: bRows - 2}
+	k.Exec(args)
+	for i := int64(0); i < n; i++ {
+		inside := i >= bs && i < (bRows-1)*bs
+		if inside && math.Abs(y.Vals[i]-want[i]) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Vals[i], want[i])
+		}
+		if !inside && !math.IsNaN(y.Vals[i]) {
+			t.Fatalf("row %d outside the block-row tile was written", i)
+		}
+	}
+	var wantWork int64
+	for br := int64(1); br <= bRows-2; br++ {
+		wantWork += Aop.Pos[br].Size() * bs * bs
+	}
+	if got := k.WorkEstimate(args); got != wantWork {
+		t.Fatalf("work = %d, want %d", got, wantWork)
+	}
+}
+
 func TestProgramStrings(t *testing.T) {
 	i, j := IndexVar("i"), IndexVar("j")
 	asn := Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("x", j)}}
 	if asn.String() != "y(i) = A(i,j) * x(j)" {
 		t.Errorf("Assign.String = %q", asn.String())
 	}
-	if CSR.String() != "{Dense,Compressed}" {
+	if CSR.String() != "CSR{Dense,Compressed}" {
 		t.Errorf("CSR.String = %q", CSR.String())
+	}
+	if CSC.String() != "CSC{Dense,Compressed}" {
+		t.Errorf("CSC.String = %q", CSC.String())
+	}
+	if CSR.Equal(CSC) {
+		t.Error("CSR must not equal CSC despite identical level modes")
 	}
 }
 

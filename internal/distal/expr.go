@@ -36,7 +36,7 @@ const (
 	// offsets (SciPy's DIA format).
 	Diagonal
 	// Blocked levels store dense square tiles per compressed coordinate
-	// (SciPy's BSR format); kernels for it are future work, as in §5.4.
+	// (SciPy's BSR format), the §5.4 extension class.
 	Blocked
 )
 
@@ -57,26 +57,36 @@ func (m Mode) String() string {
 	}
 }
 
-// Format is the per-dimension storage of a tensor; {Dense, Compressed}
-// is CSR, {Dense} a dense vector, {Dense, Dense} a row-major dense
-// matrix.
-type Format []Mode
-
-func (f Format) String() string {
-	parts := make([]string, len(f))
-	for i, m := range f {
-		parts[i] = m.String()
-	}
-	return "{" + strings.Join(parts, ",") + "}"
+// Format is the storage description of a tensor: a name tag plus the
+// per-dimension level modes. The name disambiguates formats whose level
+// structure coincides — CSR and CSC are both {Dense, Compressed}, but
+// over rows versus columns — so the registry can hold distinct kernel
+// variants for them (the mislabeled-key bug this fixes: CSC kernels
+// were filed under the CSR tag).
+type Format struct {
+	Name  string
+	Modes []Mode
 }
 
-// Equal reports whether two formats are identical.
+// Arity returns the number of tensor dimensions the format describes.
+func (f Format) Arity() int { return len(f.Modes) }
+
+func (f Format) String() string {
+	parts := make([]string, len(f.Modes))
+	for i, m := range f.Modes {
+		parts[i] = m.String()
+	}
+	return f.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// Equal reports whether two formats are identical: same name tag and
+// same level modes.
 func (f Format) Equal(g Format) bool {
-	if len(f) != len(g) {
+	if f.Name != g.Name || len(f.Modes) != len(g.Modes) {
 		return false
 	}
-	for i := range f {
-		if f[i] != g[i] {
+	for i := range f.Modes {
+		if f.Modes[i] != g.Modes[i] {
 			return false
 		}
 	}
@@ -85,11 +95,17 @@ func (f Format) Equal(g Format) bool {
 
 // Common formats.
 var (
-	CSR         = Format{Dense, Compressed}
-	DIA         = Format{Dense, Diagonal}
-	BSRFormat   = Format{Dense, Blocked}
-	DenseVector = Format{Dense}
-	DenseMatrix = Format{Dense, Dense}
+	CSR = Format{Name: "CSR", Modes: []Mode{Dense, Compressed}}
+	// CSC shares CSR's level structure but compresses over columns; the
+	// name tag keeps its kernel variants distinct in the registry.
+	CSC = Format{Name: "CSC", Modes: []Mode{Dense, Compressed}}
+	// COO stores parallel coordinate arrays: a compressed outer level
+	// paired with a singleton level, TACO's canonical COO description.
+	COO         = Format{Name: "COO", Modes: []Mode{Compressed, Singleton}}
+	DIA         = Format{Name: "DIA", Modes: []Mode{Dense, Diagonal}}
+	BSR         = Format{Name: "BSR", Modes: []Mode{Dense, Blocked}}
+	DenseVector = Format{Name: "dense", Modes: []Mode{Dense}}
+	DenseMatrix = Format{Name: "dense", Modes: []Mode{Dense, Dense}}
 )
 
 // IndexVar names an iteration variable in a tensor expression.

@@ -106,14 +106,39 @@ func GenerateStandardKernels(reg *Registry) {
 			Schedule: sched,
 		}))
 
-		// CSC SpMV: the matrix is stored compressed over columns, which
-		// is the CSR of the transposed pattern; the generated kernel
-		// scatters into y.
-		reg.Register("spmv_csc", CSR, MustCompile(Program{
+		// CSC SpMV: the matrix is stored compressed over columns, so the
+		// generated kernel iterates columns and scatters into y. The
+		// variant is filed under the CSC format tag — same logical op
+		// ("spmv"), distinct format key, exactly the registry's dispatch
+		// axis (§5.1).
+		reg.Register("spmv", CSC, MustCompile(Program{
 			Name:    "spmv_csc",
 			Compute: Assign{LHS: A("y", j), RHS: []Access{A("A", i, j), A("x", i)}},
 			Formats: map[string]Format{
-				"y": DenseVector, "A": CSR, "x": DenseVector,
+				"y": DenseVector, "A": CSC, "x": DenseVector,
+			},
+			Schedule: sched,
+		}))
+
+		// COO SpMV: the entry space is divided across processors and each
+		// stored entry scattered into y.
+		reg.Register("spmv", COO, MustCompile(Program{
+			Name:    "spmv_coo",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("x", j)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": COO, "x": DenseVector,
+			},
+			Schedule: sched,
+		}))
+
+		// BSR SpMV: block rows divided like CSR rows, one dense tile per
+		// stored block (the §5.4 extension formats DISTAL generates
+		// kernels for).
+		reg.Register("spmv", BSR, MustCompile(Program{
+			Name:    "spmv_bsr",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("x", j)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": BSR, "x": DenseVector,
 			},
 			Schedule: sched,
 		}))

@@ -278,24 +278,26 @@ func (m *Model) TrainBatch(samples []int64) float64 {
 	defer m.destroyBatch(bt)
 
 	// Predictions on the pattern: SDDMM(mask, U, V) = (U Vᵀ) sampled.
-	pred := bt.mask.SDDMM(m.U, m.V)
+	// All sparse operations go through the format-generic entry points
+	// of core's format-abstraction layer.
+	pred := core.SDDMM(bt.mask, m.U, m.V)
 	e := m.errorMatrix(bt, pred)
 
 	// Gradients.
-	dU := e.SpMM(m.V) // users x rank
+	dU := core.SpMM(e, m.V) // users x rank
 	// Transposed errors: gather E's values into the item-major order.
 	cunumeric.Gather(cunumeric.FromRegion(bt.bt.Vals()), bt.perm, cunumeric.FromRegion(e.Vals()))
-	dV := bt.bt.SpMM(m.U) // items x rank
-	db := e.SumAxis1()
-	dc := e.SumAxis0()
+	dV := core.SpMM(bt.bt, m.U) // items x rank
+	db := core.SumAxis1(e)
+	dc := core.SumAxis0(e)
 	dmu := cunumeric.Sum(cunumeric.FromRegion(e.Vals())).Get()
 
 	// Gradient sums cover a variable number of samples per user/item
 	// (power-law activity), so normalize each row by its sample count:
 	// without this, a hot user's summed gradient is hundreds of times a
 	// single SGD step and training diverges.
-	cntU := bt.mask.SumAxis1()
-	cntI := bt.mask.SumAxis0()
+	cntU := core.SumAxis1(bt.mask)
+	cntI := core.SumAxis0(bt.mask)
 	cunumeric.RecipClamp(cntU, cntU)
 	cunumeric.RecipClamp(cntI, cntI)
 	cunumeric.MulRows(dU, cntU)

@@ -1,0 +1,158 @@
+package solvers
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSolversFormatPolymorphic: CG, BiCGSTAB, and GMRES run unchanged
+// through the SparseMatrix interface against CSR, DIA, and BSR
+// operands. A DIA operand's SpMV accumulates each row's stored columns
+// in the same ascending order as CSR, so the whole solve — every
+// residual and the solution vector — must be bit-identical to the CSR
+// path. BSR with blockSize 2 re-associates per block, so it must
+// converge to the same solution within roundoff-amplified tolerance.
+func TestSolversFormatPolymorphic(t *testing.T) {
+	rt := newRT(t, 4)
+	nx := int64(8)
+	n := nx * nx
+	a := core.Poisson2D(rt, nx)
+	b := onesB(rt, n)
+
+	type solver struct {
+		name string
+		run  func(m core.SparseMatrix) *Result
+	}
+	for _, s := range []solver{
+		{"cg", func(m core.SparseMatrix) *Result { return CG(m, b, 500, 1e-8) }},
+		{"bicgstab", func(m core.SparseMatrix) *Result { return BiCGSTAB(m, b, 500, 1e-8) }},
+		{"gmres", func(m core.SparseMatrix) *Result { return GMRES(m, b, 30, 500, 1e-8) }},
+	} {
+		ref := s.run(a)
+		if !ref.Converged {
+			t.Fatalf("%s(csr) did not converge", s.name)
+		}
+		rt.Fence()
+		refX := ref.X.ToSlice()
+
+		dia := a.ToDIA()
+		got := s.run(dia)
+		if !got.Converged {
+			t.Fatalf("%s(dia) did not converge", s.name)
+		}
+		if got.Iterations != ref.Iterations {
+			t.Fatalf("%s(dia): %d iterations, csr took %d", s.name, got.Iterations, ref.Iterations)
+		}
+		for i, r := range got.Residuals {
+			if r != ref.Residuals[i] {
+				t.Fatalf("%s(dia): residual[%d] = %v, want bit-identical %v", s.name, i, r, ref.Residuals[i])
+			}
+		}
+		rt.Fence()
+		for i, v := range got.X.ToSlice() {
+			if v != refX[i] {
+				t.Fatalf("%s(dia): x[%d] = %v, want bit-identical %v", s.name, i, v, refX[i])
+			}
+		}
+		got.X.Destroy()
+		dia.Destroy()
+
+		bsr := a.ToBSR(2)
+		gotB := s.run(bsr)
+		if !gotB.Converged {
+			t.Fatalf("%s(bsr) did not converge", s.name)
+		}
+		if rn := residualNorm(a, gotB.X, b); rn > 1e-7 {
+			t.Fatalf("%s(bsr): true residual %v", s.name, rn)
+		}
+		gotB.X.Destroy()
+		bsr.Destroy()
+		ref.X.Destroy()
+	}
+}
+
+// TestMultigridFormatPolymorphic: the multigrid hierarchy built on a
+// DIA fine operator runs the identical PCG iteration as the CSR-built
+// one — the Galerkin products see the same canonical CSR through AsCSR,
+// and the fine smoother dispatches DIA's (order-preserving) kernel.
+func TestMultigridFormatPolymorphic(t *testing.T) {
+	rt := newRT(t, 4)
+	nx := int64(16)
+	n := nx * nx
+	a := core.Poisson2D(rt, nx)
+	b := onesB(rt, n)
+
+	ref := NewMultigrid(a, nx)
+	resRef := ref.PCG(b, 100, 1e-8)
+	if !resRef.Converged {
+		t.Fatal("PCG(csr hierarchy) did not converge")
+	}
+
+	dia := a.ToDIA()
+	mg := NewMultigrid(dia, nx)
+	res := mg.PCG(b, 100, 1e-8)
+	if !res.Converged {
+		t.Fatal("PCG(dia hierarchy) did not converge")
+	}
+	if res.Iterations != resRef.Iterations {
+		t.Fatalf("dia hierarchy: %d iterations, csr took %d", res.Iterations, resRef.Iterations)
+	}
+	for i, r := range res.Residuals {
+		if r != resRef.Residuals[i] {
+			t.Fatalf("residual[%d] = %v, want bit-identical %v", i, r, resRef.Residuals[i])
+		}
+	}
+	rt.Fence()
+	refX := resRef.X.ToSlice()
+	for i, v := range res.X.ToSlice() {
+		if v != refX[i] {
+			t.Fatalf("x[%d] = %v, want bit-identical %v", i, v, refX[i])
+		}
+	}
+
+	// A BSR fine operator converges to the same fixed point within
+	// roundoff (block accumulation re-associates the sums).
+	bsr := a.ToBSR(2)
+	mgB := NewMultigrid(bsr, nx)
+	resB := mgB.PCG(b, 100, 1e-8)
+	if !resB.Converged {
+		t.Fatal("PCG(bsr hierarchy) did not converge")
+	}
+	if rn := residualNorm(a, resB.X, b); rn > 1e-7 {
+		t.Fatalf("bsr hierarchy true residual %v", rn)
+	}
+
+	for _, mgX := range []*Multigrid{ref, mg, mgB} {
+		mgX.Destroy()
+	}
+	resRef.X.Destroy()
+	res.X.Destroy()
+	resB.X.Destroy()
+	dia.Destroy()
+	bsr.Destroy()
+}
+
+// TestLanczosPCGJacobiPolymorphic: the remaining solver entry points
+// accept non-CSR operands through the interface.
+func TestLanczosPCGJacobiPolymorphic(t *testing.T) {
+	rt := newRT(t, 3)
+	nx := int64(8)
+	a := core.Poisson2D(rt, nx)
+	dia := a.ToDIA()
+	b := onesB(rt, nx*nx)
+
+	res := PCGJacobi(dia, b, 500, 1e-8)
+	if !res.Converged {
+		t.Fatal("PCGJacobi(dia) did not converge")
+	}
+	if rn := residualNorm(a, res.X, b); rn > 1e-7 {
+		t.Fatalf("true residual %v", rn)
+	}
+
+	lamCSR := LargestEigenvalue(a, 200, 3)
+	lamDIA := LargestEigenvalue(dia, 200, 3)
+	if lamCSR != lamDIA {
+		t.Fatalf("LargestEigenvalue: dia %v != csr %v (order-preserving kernel should match bit-for-bit)", lamDIA, lamCSR)
+	}
+}

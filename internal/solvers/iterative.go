@@ -86,7 +86,7 @@ func (res *Result) finish(rt *legion.Runtime) *Result {
 // the solver of the paper's Figure 9 benchmark. Work buffers are reused
 // across iterations so the program reaches the steady state of §4.3
 // (stable partitions, halo-only communication).
-func CG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
+func CG(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	rt := a.Runtime()
 	n := b.Len()
 	x := cunumeric.Zeros(rt, n)
@@ -130,7 +130,7 @@ func CG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 
 // CGS solves A x = b with the conjugate-gradient-squared method (ported
 // from scipy.sparse.linalg.cgs).
-func CGS(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
+func CGS(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	rt := a.Runtime()
 	n := b.Len()
 	x := cunumeric.Zeros(rt, n)
@@ -197,9 +197,9 @@ func CGS(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 
 // BiCG solves A x = b with the biconjugate-gradient method; it uses Aᵀ
 // explicitly (computed once), like SciPy's implementation uses rmatvec.
-func BiCG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
+func BiCG(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	rt := a.Runtime()
-	at := a.Transpose()
+	at := core.TransposeCSR(a)
 	defer at.Destroy()
 	n := b.Len()
 	x := cunumeric.Zeros(rt, n)
@@ -256,7 +256,7 @@ func BiCG(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
 
 // BiCGSTAB solves A x = b with the stabilized biconjugate-gradient
 // method (scipy.sparse.linalg.bicgstab).
-func BiCGSTAB(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
+func BiCGSTAB(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	rt := a.Runtime()
 	n := b.Len()
 	x := cunumeric.Zeros(rt, n)
@@ -329,7 +329,7 @@ func BiCGSTAB(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result
 // vectors are distributed arrays; the small Hessenberg least-squares
 // problem is solved on the host with Givens rotations, exactly like the
 // SciPy implementation this is ported from.
-func GMRES(a *core.CSR, b *cunumeric.Array, restart, maxIter int, tol float64) *Result {
+func GMRES(a core.SparseMatrix, b *cunumeric.Array, restart, maxIter int, tol float64) *Result {
 	rt := a.Runtime()
 	n := b.Len()
 	x := cunumeric.Zeros(rt, n)
@@ -448,7 +448,7 @@ func GMRES(a *core.CSR, b *cunumeric.Array, restart, maxIter int, tol float64) *
 // PowerIteration estimates the dominant eigenvalue and eigenvector of A
 // via power iteration with the Rayleigh quotient, the computation of the
 // paper's Figure 1.
-func PowerIteration(a *core.CSR, iters int, seed uint64) (float64, *cunumeric.Array) {
+func PowerIteration(a core.SparseMatrix, iters int, seed uint64) (float64, *cunumeric.Array) {
 	rt := a.Runtime()
 	n := a.Rows()
 	x := cunumeric.Random(rt, n, seed)

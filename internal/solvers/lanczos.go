@@ -15,7 +15,7 @@ import (
 // solved on the host with bisection, as SciPy does via LAPACK.
 //
 // It returns the eigenvalue estimates in ascending order.
-func Lanczos(a *core.CSR, k, maxIter int, seed uint64) []float64 {
+func Lanczos(a core.SparseMatrix, k, maxIter int, seed uint64) []float64 {
 	rt := a.Runtime()
 	n := a.Rows()
 	if maxIter > int(n) {
@@ -90,7 +90,7 @@ func Lanczos(a *core.CSR, k, maxIter int, seed uint64) []float64 {
 
 // LargestEigenvalue returns the dominant eigenvalue estimate of a
 // symmetric matrix via Lanczos.
-func LargestEigenvalue(a *core.CSR, maxIter int, seed uint64) float64 {
+func LargestEigenvalue(a core.SparseMatrix, maxIter int, seed uint64) float64 {
 	eigs := Lanczos(a, 1, maxIter, seed)
 	return eigs[len(eigs)-1]
 }

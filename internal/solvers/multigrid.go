@@ -10,7 +10,7 @@ import (
 // WeightedJacobi performs iters sweeps of the weighted Jacobi smoother
 // x ← x + ω D⁻¹ (b − A x), the smoother of the paper's geometric
 // multigrid benchmark (§6.1). dinv must hold the reciprocal diagonal.
-func WeightedJacobi(a *core.CSR, x, b, dinv *cunumeric.Array, omega float64, iters int) {
+func WeightedJacobi(a core.SparseMatrix, x, b, dinv *cunumeric.Array, omega float64, iters int) {
 	rt := a.Runtime()
 	r := cunumeric.Zeros(rt, b.Len())
 	for k := 0; k < iters; k++ {
@@ -27,7 +27,7 @@ func WeightedJacobi(a *core.CSR, x, b, dinv *cunumeric.Array, omega float64, ite
 // coarse point (I, J) samples fine point (2I, 2J). The prolongation is
 // its transpose. This is the restriction operator the paper's GMG
 // benchmark names.
-func Injection(a *core.CSR, nx int64) *core.CSR {
+func Injection(a core.SparseMatrix, nx int64) *core.CSR {
 	cx := nx / 2
 	nF := nx * nx
 	nC := cx * cx
@@ -52,7 +52,7 @@ func Injection(a *core.CSR, nx int64) *core.CSR {
 // Jacobi smoothing. It matches the structure of the paper's 300-line
 // Python GMG solver.
 type Multigrid struct {
-	A      *core.CSR
+	A      core.SparseMatrix
 	R      *core.CSR // restriction (n_c x n_f)
 	P      *core.CSR // prolongation (n_f x n_c)
 	Ac     *core.CSR // coarse operator
@@ -65,18 +65,21 @@ type Multigrid struct {
 }
 
 // NewMultigrid builds the two-level hierarchy for the Poisson operator a
-// on an nx x nx grid.
-func NewMultigrid(a *core.CSR, nx int64) *Multigrid {
+// on an nx x nx grid. Any SparseMatrix works as the fine operator; the
+// Galerkin product and diagonal extraction view it as CSR.
+func NewMultigrid(a core.SparseMatrix, nx int64) *Multigrid {
 	rt := a.Runtime()
 	r := Injection(a, nx)
 	p := r.Transpose()
+	af, doneAf := core.AsCSR(a)
 	// Scale prolongation so R*P = I (injection is already orthonormal
 	// row-wise: each row of R has a single 1).
-	ap := core.SpGEMM(a, p)
+	ap := core.SpGEMM(af, p)
 	ac := core.SpGEMM(r, ap)
 	ap.Destroy()
 
-	dF := a.Diagonal()
+	dF := af.Diagonal()
+	doneAf()
 	dC := ac.Diagonal()
 	invert := func(d *cunumeric.Array) {
 		one := cunumeric.Full(rt, d.Len(), 1)
@@ -142,7 +145,7 @@ type MultilevelMG struct {
 
 // NewMultilevelMG builds a depth-level hierarchy for the Poisson
 // operator on an nx x nx grid; nx must be divisible by 2^(depth-1).
-func NewMultilevelMG(a *core.CSR, nx int64, depth int) *MultilevelMG {
+func NewMultilevelMG(a core.SparseMatrix, nx int64, depth int) *MultilevelMG {
 	if depth < 2 {
 		depth = 2
 	}

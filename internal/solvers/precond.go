@@ -12,10 +12,10 @@ import (
 // by the inverse diagonal (scipy's cg with a diagonal LinearOperator M),
 // the lightest preconditioner Legate Sparse programs reach for before
 // multigrid.
-func PCGJacobi(a *core.CSR, b *cunumeric.Array, maxIter int, tol float64) *Result {
+func PCGJacobi(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Result {
 	rt := a.Runtime()
 	n := b.Len()
-	dinv := a.Diagonal()
+	dinv := core.Diagonal(a)
 	one := cunumeric.Full(rt, n, 1)
 	cunumeric.DivInto(dinv, one, dinv)
 	one.Destroy()
