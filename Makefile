@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-fusion chaos prof
+.PHONY: check fmt vet build test race bench-fusion bench-serve chaos prof serve docs links
 
 # check is the full pre-merge gate: formatting, static analysis, build,
-# the race-enabled test suite, the fault-injection suite, one pass over
-# the fusion wall-clock benchmarks (compile + run, not a timing study —
-# use `go test -bench` directly with a real -benchtime for numbers), and
-# the legate-prof artifact smoke test.
-check: fmt vet build race chaos bench-fusion prof
+# the race-enabled test suite (including the legate-serve e2e suite),
+# the fault-injection suite, one pass over the fusion and serve
+# wall-clock benchmarks (compile + run, not a timing study — use
+# `go test -bench` directly with a real -benchtime for numbers), the
+# legate-prof artifact smoke test, and the documentation gates.
+check: fmt vet build race chaos bench-fusion bench-serve prof docs links
 
 # fmt fails (and lists offenders) if any file is not gofmt-clean.
 fmt:
@@ -33,8 +34,27 @@ race:
 chaos:
 	$(GO) test -race -run 'Fault|Panic|Recovery|ProcDeath|Rescale|Checkpoint|Sticky|Chaos' ./internal/fault/ ./internal/legion/ ./internal/bench/
 
+# serve runs the legate-serve end-to-end suite on its own (it is also
+# part of `race`): served results bit-identical to direct solver calls,
+# 64-way concurrency under fault injection, cache invalidation on
+# re-upload, pool replacement on processor death, batching coalescing.
+serve:
+	$(GO) test -race -count=1 ./internal/serve/
+
 bench-fusion:
 	$(GO) test -run=NONE -bench=BenchmarkFusion -benchtime=1x ./...
+
+bench-serve:
+	$(GO) test -run=NONE -bench=BenchmarkServe -benchtime=1x ./internal/serve/
+
+# docs fails if any package lacks a package-level doc comment, or if
+# ARCHITECTURE.md / doc.go miss a package.
+docs:
+	./scripts/check_docs.sh
+
+# links fails on broken relative links in the top-level markdown docs.
+links:
+	./scripts/check_links.sh
 
 # prof smoke-tests the observability pipeline: run legate-prof on a
 # small CG preset and let -check validate that the Chrome trace parses,

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	legate-bench -exp spmv|cg|gmg|quantum|mf|recovery|all [-preset small|paper]
+//	legate-bench -exp spmv|cg|gmg|quantum|mf|recovery|serve|all [-preset small|paper]
 //	             [-units N] [-iters N] [-runs N] [-mfscale N]
 //	             [-seed N] [-faults SPEC] [-checkpoint-every N]
 //
@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: spmv, cg, gmg, quantum, mf, ablation, or all")
+	exp := flag.String("exp", "all", "experiment: spmv, cg, gmg, quantum, mf, ablation, recovery, serve, or all")
 	preset := flag.String("preset", "small", "option preset: small or paper")
 	units := flag.Int64("units", 0, "override units (rows/dimensions) per processor")
 	iters := flag.Int("iters", 0, "override timed iterations per run")
@@ -134,6 +134,9 @@ func main() {
 		runAblations()
 	case "recovery":
 		runRecovery()
+	case "serve":
+		t0 := time.Now()
+		fmt.Printf("%s(generated in %v)\n\n", bench.FormatServeLoad(bench.ServeLoad(opt)), time.Since(t0).Round(time.Millisecond))
 	case "all":
 		run("fig8", bench.Fig8SpMV)
 		run("fig9", bench.Fig9CG)

@@ -1,0 +1,61 @@
+// Command legate-serve runs the solver service: an HTTP JSON API over a
+// pool of warm runtimes with cross-request plan and partition caching.
+//
+// Usage:
+//
+//	legate-serve -addr :8080 -pool 2 -procs 4 -kind cpu
+//
+// See README.md ("legate-serve quickstart") for curl examples and the
+// full flags table, and ARCHITECTURE.md for how a request flows through
+// the runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		pool        = flag.Int("pool", 2, "warm runtimes in the pool")
+		procs       = flag.Int("procs", 4, "processors per pool runtime")
+		kind        = flag.String("kind", "cpu", "processor kind: cpu or gpu")
+		cacheSize   = flag.Int("cache-size", 8, "bound matrices cached per worker (LRU)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-matrix requests (negative disables batching)")
+		seed        = flag.Uint64("seed", 42, "fault-injection seed")
+		faults      = flag.String("faults", "", "fault spec, e.g. 'point@120:1,proc@2:80ms,rate:0.001' (see internal/fault)")
+		ckptEvery   = flag.Int("checkpoint-every", 64, "launches per checkpoint epoch (-1 disables recovery)")
+		profCap     = flag.Int("prof-capacity", 4096, "profiling sink capacity per request class")
+	)
+	flag.Parse()
+
+	s, err := serve.NewServer(serve.Config{
+		Pool:            *pool,
+		Procs:           *procs,
+		Kind:            *kind,
+		CacheSize:       *cacheSize,
+		BatchWindow:     *batchWindow,
+		Seed:            *seed,
+		Faults:          *faults,
+		CheckpointEvery: *ckptEvery,
+		ProfCapacity:    *profCap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "legate-serve:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	log.Printf("legate-serve: listening on %s (pool=%d procs=%d kind=%s cache=%d batch-window=%v)",
+		*addr, *pool, *procs, *kind, *cacheSize, *batchWindow)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

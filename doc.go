@@ -8,10 +8,59 @@
 // regenerated without a supercomputer.
 //
 // See DESIGN.md for the system inventory and the substitutions made for
-// unavailable hardware, EXPERIMENTS.md for the paper-vs-measured record
-// of every figure and table, and the examples/ directory for runnable
-// programs. The top-level benchmarks (bench_test.go) regenerate each of
-// the paper's figures at test scale:
+// unavailable hardware, ARCHITECTURE.md for the package map and the
+// life-of-a-launch data flow, EXPERIMENTS.md for the paper-vs-measured
+// record of every figure and table, and the examples/ directory for
+// runnable programs. The top-level benchmarks (bench_test.go)
+// regenerate each of the paper's figures at test scale:
 //
 //	go test -bench=. -benchmem .
+//
+// # Package tree
+//
+// Foundation:
+//
+//	internal/geometry    index-space algebra: rects, interval sets, tilings
+//	internal/machine     synthetic Summit-like machine and cost model
+//	internal/seq         sequential host reference kernels (the test oracle)
+//
+// Runtime:
+//
+//	internal/legion      Legion-model runtime: regions, partitions, launch
+//	                     stream, dependence analysis, fusion, mapper,
+//	                     checkpoint/replay, partition caches
+//	internal/constraint  constraint-based parallelization (§4.1)
+//	internal/fault       deterministic seeded fault injection
+//	internal/prof        observability: sink, traces, critical paths
+//
+// Compiler:
+//
+//	internal/distal      DISTAL-style kernel generation; the plan registry
+//
+// Libraries:
+//
+//	internal/core        Legate Sparse: SciPy-style sparse matrices as
+//	                     region packs (CSR/CSC/COO/DIA/BSR), fingerprints
+//	internal/cunumeric   cuNumeric-style distributed dense arrays
+//
+// Applications:
+//
+//	internal/solvers     Krylov solvers, multigrid, power iteration
+//	internal/mlearn      matrix-factorization workload (§6.2)
+//	internal/quantum     Rydberg-chain quantum simulation (§6.1)
+//	internal/petsc       explicitly-parallel rank-local baseline
+//
+// Services and tools:
+//
+//	internal/serve       the legate-serve solver service core
+//	internal/bench       figure/table regeneration and load tests
+//
+// Commands:
+//
+//	cmd/legate-serve     HTTP solver service with warm runtime pool
+//	cmd/legate-bench     paper experiments, ablations, load test
+//	cmd/figures          EXPERIMENTS.md table generator
+//	cmd/legate-prof      profiler artifact exporter
+//	cmd/legate-info      machine/kernel/API inventory
+//	cmd/solve            Matrix Market solver front end
 package repro

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ServeLoadResult is one load-test configuration's measurements against
+// an in-process legate-serve instance. Unlike the figure experiments,
+// these are *wall-clock* numbers: the server's cost is launch machinery
+// and cache management, which the simulated clock does not model.
+type ServeLoadResult struct {
+	Name        string
+	Requests    int
+	Concurrency int
+	Failures    int
+	Elapsed     time.Duration
+	Throughput  float64 // requests per wall-clock second
+	MeanLat     time.Duration
+	P50Lat      time.Duration
+	P99Lat      time.Duration
+	CacheHits   int64 // binding-cache hits across the run
+	MeanBatch   float64
+}
+
+// serveLoadCase is one configuration of the sweep.
+type serveLoadCase struct {
+	name        string
+	cfg         serve.Config
+	requests    int
+	concurrency int
+	cold        bool     // flush every cache between requests
+	matrices    []string // round-robined across requests
+}
+
+// ServeLoad runs the legate-serve load test: the cache ablation
+// (cold vs warm latency), the batching ablation (throughput with the
+// coalescing window on vs off), and a mixed-matrix sweep under fault
+// injection. See EXPERIMENTS.md ("legate-serve load test") for the
+// methodology.
+func ServeLoad(opt Options) []ServeLoadResult {
+	n := 48
+	if opt.Runs > 3 { // paper preset: longer run
+		n = 192
+	}
+	base := serve.Config{Pool: 2, Procs: 4, CacheSize: 8}
+	noBatch := base
+	noBatch.BatchWindow = -1
+	faulty := base
+	faulty.Faults = "rate:0.002:4"
+	faulty.Seed = opt.Seed
+	faulty.CheckpointEvery = 16
+
+	cases := []serveLoadCase{
+		{name: "cg cold (caches flushed per request)", cfg: noBatch, requests: n / 2, concurrency: 1, cold: true,
+			matrices: []string{"poisson2d:32"}},
+		{name: "cg warm", cfg: noBatch, requests: n / 2, concurrency: 1,
+			matrices: []string{"poisson2d:32"}},
+		{name: "cg warm x16 clients, batching off", cfg: noBatch, requests: n, concurrency: 16,
+			matrices: []string{"poisson2d:32"}},
+		{name: "cg warm x16 clients, batching on", cfg: base, requests: n, concurrency: 16,
+			matrices: []string{"poisson2d:32"}},
+		{name: "mixed x16 clients, faults+recovery", cfg: faulty, requests: n, concurrency: 16,
+			matrices: []string{"poisson2d:24", "banded:256", "random:128"}},
+	}
+	out := make([]ServeLoadResult, 0, len(cases))
+	for _, c := range cases {
+		out = append(out, runServeLoad(c))
+	}
+	return out
+}
+
+func runServeLoad(c serveLoadCase) ServeLoadResult {
+	s, err := serve.NewServer(c.cfg)
+	if err != nil {
+		return ServeLoadResult{Name: c.name + " (config error: " + err.Error() + ")"}
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	solve := func(matrix string) (time.Duration, error) {
+		body, _ := json.Marshal(serve.SolveRequest{Matrix: matrix, MaxIter: 8, Tol: 1e-30})
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var sr serve.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(t0), nil
+	}
+
+	// Prime every matrix once so "warm" configurations start warm and
+	// the preset build cost stays out of the measurement.
+	for _, m := range c.matrices {
+		solve(m)
+	}
+	if c.cold {
+		s.FlushCaches()
+	}
+
+	lats := make([]time.Duration, c.requests)
+	errs := make([]error, c.requests)
+	start := time.Now()
+	if c.concurrency <= 1 {
+		for i := 0; i < c.requests; i++ {
+			lats[i], errs[i] = solve(c.matrices[i%len(c.matrices)])
+			if c.cold {
+				s.FlushCaches()
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, c.concurrency)
+		for i := 0; i < c.requests; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				lats[i], errs[i] = solve(c.matrices[i%len(c.matrices)])
+			}(i)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	res := ServeLoadResult{
+		Name:        c.name,
+		Requests:    c.requests,
+		Concurrency: c.concurrency,
+		Elapsed:     elapsed,
+		Throughput:  float64(c.requests) / elapsed.Seconds(),
+	}
+	var total time.Duration
+	ok := lats[:0]
+	for i, l := range lats {
+		if errs[i] != nil {
+			res.Failures++
+			continue
+		}
+		ok = append(ok, l)
+		total += l
+	}
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		res.MeanLat = total / time.Duration(len(ok))
+		res.P50Lat = ok[len(ok)/2]
+		res.P99Lat = ok[len(ok)*99/100]
+	}
+	snap := serveMetrics(ts.URL)
+	res.CacheHits = snap.BindingCache.Hits
+	if snap.Batching.Batches > 0 {
+		res.MeanBatch = float64(snap.Batching.Jobs) / float64(snap.Batching.Batches)
+	}
+	return res
+}
+
+func serveMetrics(url string) serve.MetricsSnapshot {
+	var snap serve.MetricsSnapshot
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return snap
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(resp.Body).Decode(&snap)
+	return snap
+}
+
+// FormatServeLoad renders the load-test sweep as an aligned text table.
+func FormatServeLoad(results []ServeLoadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "legate-serve load test (wall clock)\n")
+	fmt.Fprintf(&b, "%-40s %6s %5s %5s %9s %9s %9s %9s %7s %6s\n",
+		"configuration", "reqs", "conc", "fail", "req/s", "mean", "p50", "p99", "hits", "batch")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-40s %6d %5d %5d %9.1f %9s %9s %9s %7d %6.2f\n",
+			r.Name, r.Requests, r.Concurrency, r.Failures, r.Throughput,
+			r.MeanLat.Round(time.Microsecond), r.P50Lat.Round(time.Microsecond),
+			r.P99Lat.Round(time.Microsecond), r.CacheHits, r.MeanBatch)
+	}
+	return b.String()
+}

@@ -51,6 +51,16 @@ func buildCSR(rt *legion.Runtime, rows, cols int64, r, c []int64, v []float64) *
 	return NewCSR(rt, rows, cols, indptr, c, v)
 }
 
+// FromTriples assembles a CSR matrix from host COO triples in any
+// order (row-major sorted, duplicates summed) — the construction path
+// for matrices arriving over a wire, e.g. legate-serve uploads. It is
+// the exported form of the canonicalize+build pipeline the SciPy-style
+// constructors share.
+func FromTriples(rt *legion.Runtime, rows, cols int64, r, c []int64, v []float64) *CSR {
+	cr, cc, cv := canonicalizeCOO(r, c, v)
+	return buildCSR(rt, rows, cols, cr, cc, cv)
+}
+
 // Random builds an n x m CSR matrix with the given nonzero density, the
 // analog of scipy.sparse.random(n, m, density, format='csr'). Entries
 // are deterministic in (seed, position) so results do not depend on the

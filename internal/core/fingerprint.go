@@ -1,0 +1,125 @@
+package core
+
+// Matrix fingerprinting for cross-request caching. legate-serve keys its
+// binding, partition, and plan caches on a stable identity of a matrix's
+// *contents*, not its Go object: two uploads of the same triples — or a
+// preset rebuilt on a replacement runtime — must land on the same cache
+// entries, and a re-upload with different values must not. The
+// fingerprint is FNV-1a over (shape, format tag, pack-region contents,
+// format metadata); it is a cache key, not a cryptographic digest.
+
+import (
+	"math"
+
+	"repro/internal/legion"
+)
+
+// Fingerprint is the 64-bit content identity of a sparse matrix.
+type Fingerprint uint64
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnv accumulates FNV-1a over 64-bit words (byte-at-a-time over each
+// word, little-endian, so the result is independent of host order).
+type fnv struct{ h uint64 }
+
+func newFNV() *fnv { return &fnv{h: fnvOffset} }
+
+func (f *fnv) word(w uint64) {
+	h := f.h
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime
+		w >>= 8
+	}
+	f.h = h
+}
+
+func (f *fnv) int64(v int64)     { f.word(uint64(v)) }
+func (f *fnv) float64(v float64) { f.word(math.Float64bits(v)) }
+func (f *fnv) str(s string) {
+	for i := 0; i < len(s); i++ {
+		f.h ^= uint64(s[i])
+		f.h *= fnvPrime
+	}
+	f.word(uint64(len(s)))
+}
+
+func (f *fnv) int64s(vs []int64) {
+	for _, v := range vs {
+		f.int64(v)
+	}
+	f.word(uint64(len(vs)))
+}
+
+func (f *fnv) float64s(vs []float64) {
+	for _, v := range vs {
+		f.float64(v)
+	}
+	f.word(uint64(len(vs)))
+}
+
+// FingerprintTriples fingerprints a host-side COO triple set — the form
+// matrices arrive in over the serve API. Triples are canonicalized
+// (row-major sort, duplicates summed) first, so any ordering of the same
+// logical matrix fingerprints identically.
+func FingerprintTriples(rows, cols int64, r, c []int64, v []float64) Fingerprint {
+	cr, cc, cv := canonicalizeCOO(r, c, v)
+	f := newFNV()
+	f.str("triples")
+	f.int64(rows)
+	f.int64(cols)
+	f.int64s(cr)
+	f.int64s(cc)
+	f.float64s(cv)
+	return Fingerprint(f.h)
+}
+
+// FingerprintMatrix fingerprints a bound matrix: shape, format tag,
+// the contents of every pack region, and the format metadata that the
+// regions alone do not express (BSR block size, DIA offsets). It fences
+// the runtime first so region contents are materialized.
+func FingerprintMatrix(a SparseMatrix) Fingerprint {
+	rt := a.Runtime()
+	rt.Fence()
+	f := newFNV()
+	spec := a.Spec()
+	f.str(spec.Name)
+	rows, cols := a.Shape()
+	f.int64(rows)
+	f.int64(cols)
+	for i, r := range a.Pack() {
+		f.str(spec.PackFields[i].Name)
+		hashRegion(f, r)
+	}
+	switch m := a.(type) {
+	case *BSR:
+		f.str("blocksize")
+		f.int64(m.blockSize)
+	case *DIA:
+		f.str("offsets")
+		f.int64s(m.offsets)
+	}
+	return Fingerprint(f.h)
+}
+
+func hashRegion(f *fnv, r *legion.Region) {
+	switch r.Type() {
+	case legion.Float64:
+		f.float64s(r.Float64s())
+	case legion.Int64:
+		f.int64s(r.Int64s())
+	case legion.RectType:
+		for _, rect := range r.Rects() {
+			f.int64(rect.Lo)
+			f.int64(rect.Hi)
+		}
+		f.word(uint64(r.Size()))
+	default:
+		f.str(r.Type().String())
+		f.word(uint64(r.Size()))
+	}
+}

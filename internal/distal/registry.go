@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // OpKey identifies one kernel variant: the logical operation, the sparse
@@ -20,10 +21,38 @@ func (k OpKey) String() string {
 	return fmt.Sprintf("%s/%s/%v", k.Op, k.Format, k.Target)
 }
 
-// Registry holds generated kernels for dynamic dispatch.
+// Registry holds generated kernels for dynamic dispatch. It doubles as
+// the compiled-plan cache of a long-lived server: Lookup hits and misses
+// are counted (lock-free), and LookupOrCompile turns a miss into an
+// on-demand compilation whose result is registered for every later
+// request — SpDISTAL's "compile once, dispatch forever" behavior.
 type Registry struct {
 	mu      sync.RWMutex
 	kernels map[OpKey]*Kernel
+
+	hits, misses, compiles atomic.Int64
+}
+
+// RegistryStats is a snapshot of a registry's plan-cache counters,
+// reported by legate-serve's /metrics endpoint.
+type RegistryStats struct {
+	Hits     int64 `json:"hits"`     // Lookup found a compiled kernel
+	Misses   int64 `json:"misses"`   // Lookup found nothing (caller fell back or compiled)
+	Compiles int64 `json:"compiles"` // kernels compiled on demand by LookupOrCompile
+	Variants int   `json:"variants"` // kernels currently registered
+}
+
+// Stats returns a snapshot of the registry's plan-cache counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.RLock()
+	n := len(r.kernels)
+	r.mu.RUnlock()
+	return RegistryStats{
+		Hits:     r.hits.Load(),
+		Misses:   r.misses.Load(),
+		Compiles: r.compiles.Load(),
+		Variants: n,
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -44,9 +73,43 @@ func (r *Registry) Register(op string, format Format, k *Kernel) {
 // not — the cost the paper's third composition layer is about.
 func (r *Registry) Lookup(op string, format Format, target Target) (*Kernel, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	k, ok := r.kernels[OpKey{Op: op, Format: format.String(), Target: target}]
+	r.mu.RUnlock()
+	if ok {
+		r.hits.Add(1)
+	} else {
+		r.misses.Add(1)
+	}
 	return k, ok
+}
+
+// LookupOrCompile returns the registered kernel for (op, format, target)
+// or, on a miss, compiles one via gen, registers it, and returns it.
+// Concurrent callers may both compile; the first registration wins and
+// both get a valid kernel. gen returning an error leaves the registry
+// unchanged.
+func (r *Registry) LookupOrCompile(op string, format Format, target Target, gen func() (Program, error)) (*Kernel, error) {
+	if k, ok := r.Lookup(op, format, target); ok {
+		return k, nil
+	}
+	prog, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	k, err := Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	r.compiles.Add(1)
+	key := OpKey{Op: op, Format: format.String(), Target: target}
+	r.mu.Lock()
+	if prev, ok := r.kernels[key]; ok {
+		k = prev // another caller compiled first; keep one canonical plan
+	} else {
+		r.kernels[key] = k
+	}
+	r.mu.Unlock()
+	return k, nil
 }
 
 // MustLookup is Lookup that panics on a missing variant.

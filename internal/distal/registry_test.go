@@ -1,0 +1,94 @@
+package distal
+
+import "testing"
+
+// stdSchedule is the Figure 6 schedule the standard kernels use; tests
+// compile throwaway variants with it.
+func stdSchedule(target Target) Schedule {
+	i, io, ii := IndexVar("i"), IndexVar("io"), IndexVar("ii")
+	return Schedule{}.Divide(i, io, ii).Distribute(io).Communicate(io).Parallelize(ii, target)
+}
+
+func TestRegistryStatsCounting(t *testing.T) {
+	reg := NewRegistry()
+	GenerateStandardKernels(reg)
+	base := reg.Stats()
+	if base.Variants != 16 {
+		t.Fatalf("fresh standard registry has %d variants, want 16", base.Variants)
+	}
+
+	reg.Lookup("spmv", CSR, CPUThread)
+	reg.Lookup("spmv", CSR, CPUThread)
+	reg.Lookup("spmv", DenseMatrix, CPUThread) // miss
+	s := reg.Stats()
+	if s.Hits-base.Hits != 2 {
+		t.Errorf("hits advanced by %d, want 2", s.Hits-base.Hits)
+	}
+	if s.Misses-base.Misses != 1 {
+		t.Errorf("misses advanced by %d, want 1", s.Misses-base.Misses)
+	}
+	if s.Compiles != 0 {
+		t.Errorf("no on-demand compiles yet, got %d", s.Compiles)
+	}
+}
+
+func TestLookupOrCompile(t *testing.T) {
+	reg := NewRegistry()
+	i, j := IndexVar("i"), IndexVar("j")
+	gen := func() (Program, error) {
+		return Program{
+			Name:     "spmv_csr_ondemand",
+			Compute:  Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("x", j)}},
+			Formats:  map[string]Format{"y": DenseVector, "A": CSR, "x": DenseVector},
+			Schedule: stdSchedule(CPUThread),
+		}, nil
+	}
+
+	k1, err := reg.LookupOrCompile("spmv", CSR, CPUThread, gen)
+	if err != nil {
+		t.Fatalf("compile-on-miss: %v", err)
+	}
+	if k1 == nil {
+		t.Fatal("nil kernel from LookupOrCompile")
+	}
+	if s := reg.Stats(); s.Compiles != 1 || s.Variants != 1 {
+		t.Fatalf("after first call: compiles=%d variants=%d, want 1/1", s.Compiles, s.Variants)
+	}
+
+	// Second call must hit the cache and return the same plan.
+	called := false
+	k2, err := reg.LookupOrCompile("spmv", CSR, CPUThread, func() (Program, error) {
+		called = true
+		return gen()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("warm LookupOrCompile invoked the generator")
+	}
+	if k2 != k1 {
+		t.Error("warm LookupOrCompile returned a different kernel object")
+	}
+	if s := reg.Stats(); s.Compiles != 1 {
+		t.Errorf("warm call recompiled: compiles=%d", s.Compiles)
+	}
+}
+
+func TestLookupOrCompileBadProgram(t *testing.T) {
+	reg := NewRegistry()
+	i, j := IndexVar("i"), IndexVar("j")
+	_, err := reg.LookupOrCompile("bad", CSR, CPUThread, func() (Program, error) {
+		return Program{
+			Name:    "two_sparse",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("B", i, j)}},
+			Formats: map[string]Format{"y": DenseVector, "A": CSR, "B": CSR},
+		}, nil
+	})
+	if err == nil {
+		t.Fatal("uncompilable program must return an error")
+	}
+	if s := reg.Stats(); s.Variants != 0 || s.Compiles != 0 {
+		t.Errorf("failed compile mutated the registry: %+v", s)
+	}
+}

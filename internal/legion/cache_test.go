@@ -1,0 +1,198 @@
+package legion
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/machine"
+)
+
+func cacheTestRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	m := machine.Summit(2)
+	rt := NewRuntime(m, m.Select(machine.CPU, 4))
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// TestImageSetReuseAcrossRegions is the cross-request scenario
+// legate-serve depends on: the same coordinate region and partition,
+// imaged onto a *fresh* destination region of the same size, must reuse
+// the cached subspace computation instead of rescanning the source.
+func TestImageSetReuseAcrossRegions(t *testing.T) {
+	rt := cacheTestRuntime(t)
+	crd := rt.CreateInt64("crd", []int64{0, 3, 5, 1, 7, 2, 6, 4})
+	part := rt.BlockPartition(crd, 4)
+
+	dst1 := rt.CreateRegion("x1", 8, Float64)
+	p1 := rt.ImageCoord(crd, part, dst1)
+	s0 := rt.CacheStats()
+	if s0.ImageBuilds != 1 || s0.ImageSetHits != 0 {
+		t.Fatalf("first image: builds=%d setHits=%d, want 1/0", s0.ImageBuilds, s0.ImageSetHits)
+	}
+
+	// Same destination again: exact partition-object hit.
+	if rt.ImageCoord(crd, part, dst1) != p1 {
+		t.Fatal("same-destination image did not return the cached partition object")
+	}
+	if s := rt.CacheStats(); s.ImageHits != s0.ImageHits+1 {
+		t.Fatalf("same-destination image not counted as hit: %+v", s)
+	}
+
+	// Fresh same-size destination: new partition object, cached subspaces.
+	dst2 := rt.CreateRegion("x2", 8, Float64)
+	p2 := rt.ImageCoord(crd, part, dst2)
+	s1 := rt.CacheStats()
+	if s1.ImageBuilds != 1 {
+		t.Fatalf("fresh same-size destination recomputed the image: builds=%d", s1.ImageBuilds)
+	}
+	if s1.ImageSetHits != 1 {
+		t.Fatalf("fresh same-size destination missed the set cache: %+v", s1)
+	}
+	if p2 == p1 || p2.Region() != dst2 {
+		t.Fatal("set-cache hit must still mint a partition of the new region")
+	}
+	for c := 0; c < p1.Colors(); c++ {
+		if !p1.Subspace(c).Equal(p2.Subspace(c)) {
+			t.Fatalf("color %d: reused subspaces differ", c)
+		}
+	}
+
+	// Different-size destination: no set reuse.
+	dst3 := rt.CreateRegion("x3", 16, Float64)
+	rt.ImageCoord(crd, part, dst3)
+	if s := rt.CacheStats(); s.ImageBuilds != 2 {
+		t.Fatalf("different-size destination should rebuild: builds=%d", s.ImageBuilds)
+	}
+}
+
+// TestImageSetRangeReuse covers the rect-valued path (pos→crd images).
+func TestImageSetRangeReuse(t *testing.T) {
+	rt := cacheTestRuntime(t)
+	pos := rt.CreateRects("pos", []geometry.Rect{
+		geometry.NewRect(0, 1), geometry.NewRect(2, 3),
+		geometry.NewRect(4, 5), geometry.NewRect(6, 7),
+	})
+	part := rt.BlockPartition(pos, 4)
+	d1 := rt.CreateRegion("crd1", 8, Int64)
+	d2 := rt.CreateRegion("crd2", 8, Int64)
+	rt.ImageRange(pos, part, d1)
+	rt.ImageRange(pos, part, d2)
+	s := rt.CacheStats()
+	if s.ImageBuilds != 1 || s.ImageSetHits != 1 {
+		t.Fatalf("range image set reuse: builds=%d setHits=%d, want 1/1", s.ImageBuilds, s.ImageSetHits)
+	}
+}
+
+// TestImageSetInvalidationOnWrite checks that writing the source region
+// (version bump) forces a rebuild rather than serving stale subspaces.
+func TestImageSetInvalidationOnWrite(t *testing.T) {
+	rt := cacheTestRuntime(t)
+	crd := rt.CreateInt64("crd", []int64{0, 1, 2, 3, 4, 5, 6, 7})
+	part := rt.BlockPartition(crd, 4)
+	dst := rt.CreateRegion("x", 8, Float64)
+	p1 := rt.ImageCoord(crd, part, dst)
+
+	// Rewrite crd through a launch: version bumps, images must rebuild.
+	l := rt.NewLaunch("rewrite", 4, func(tc *TaskContext) {
+		d := tc.Int64(0)
+		tc.Subspace(0).Each(func(i int64) { d[i] = 7 - i })
+	})
+	l.Add(crd, part, ReadWrite)
+	l.Execute()
+	rt.Fence()
+
+	dst2 := rt.CreateRegion("x2", 8, Float64)
+	p2 := rt.ImageCoord(crd, part, dst2)
+	if s := rt.CacheStats(); s.ImageBuilds != 2 {
+		t.Fatalf("post-write image served stale set cache: builds=%d", s.ImageBuilds)
+	}
+	// New contents reverse the coordinates; color 0's image moves.
+	if p1.Subspace(0).Equal(p2.Subspace(0)) {
+		t.Fatal("rebuilt image identical to pre-write image; contents changed")
+	}
+}
+
+// TestInvalidateRegionCaches checks the explicit hook used by the serve
+// layer's matrix re-upload path: partitions of, onto, and sourced from
+// the region all drop, and the key partition is cleared.
+func TestInvalidateRegionCaches(t *testing.T) {
+	rt := cacheTestRuntime(t)
+	crd := rt.CreateInt64("crd", []int64{0, 1, 2, 3, 4, 5, 6, 7})
+	other := rt.CreateFloat64("other", make([]float64, 8))
+	part := rt.BlockPartition(crd, 4)
+	rt.AlignedPartition(part, other)
+	dst := rt.CreateRegion("x", 8, Float64)
+	rt.ImageCoord(crd, part, dst)
+
+	s := rt.CacheStats()
+	if s.PartEntries == 0 || s.AlignEntries == 0 || s.ImageEntries == 0 || s.ImageSetEntries == 0 {
+		t.Fatalf("expected populated caches before invalidation: %+v", s)
+	}
+
+	rt.InvalidateRegionCaches(crd)
+	s = rt.CacheStats()
+	if s.PartEntries != 0 {
+		t.Fatalf("block partition of invalidated region survived: %+v", s)
+	}
+	if s.ImageEntries != 0 {
+		t.Fatalf("image sourced from invalidated region survived: %+v", s)
+	}
+	if s.ImageSetEntries != 0 {
+		t.Fatalf("image sets computed from invalidated region survived: %+v", s)
+	}
+	// The alignment entry is keyed on `other` and only referenced part's
+	// id; it is dropped when its own region is invalidated.
+	rt.InvalidateRegionCaches(other)
+	if s := rt.CacheStats(); s.AlignEntries != 0 {
+		t.Fatalf("alignment onto invalidated region survived: %+v", s)
+	}
+
+	// After invalidation the same calls rebuild rather than crash.
+	part2 := rt.BlockPartition(crd, 4)
+	if part2 == part {
+		t.Fatal("invalidation did not drop the block partition")
+	}
+	rt.ImageCoord(crd, part2, dst)
+	if s := rt.CacheStats(); s.ImageBuilds != 2 {
+		t.Fatalf("post-invalidation image did not rebuild: %+v", s)
+	}
+}
+
+// TestPartAndAlignCounters sanity-checks the hit/miss accounting the
+// /metrics endpoint reports.
+func TestPartAndAlignCounters(t *testing.T) {
+	rt := cacheTestRuntime(t)
+	r := rt.CreateRegion("r", 64, Float64)
+	q := rt.CreateRegion("q", 64, Float64)
+	rt.BlockPartition(r, 4)
+	rt.BlockPartition(r, 4)
+	rt.BroadcastPartition(r, 4)
+	p := rt.BlockPartition(r, 8)
+	rt.AlignedPartition(p, q)
+	rt.AlignedPartition(p, q)
+	s := rt.CacheStats()
+	if s.PartMisses != 3 || s.PartHits != 1 {
+		t.Fatalf("part counters: hits=%d misses=%d, want 1/3", s.PartHits, s.PartMisses)
+	}
+	if s.AlignMisses != 1 || s.AlignHits != 1 {
+		t.Fatalf("align counters: hits=%d misses=%d, want 1/1", s.AlignHits, s.AlignMisses)
+	}
+}
+
+// TestRescaleClearsImageSets: changing the launch domain invalidates
+// every cached image set (their color count no longer matches).
+func TestRescaleClearsImageSets(t *testing.T) {
+	rt := cacheTestRuntime(t)
+	crd := rt.CreateInt64("crd", []int64{0, 1, 2, 3, 4, 5, 6, 7})
+	part := rt.BlockPartition(crd, 4)
+	dst := rt.CreateRegion("x", 8, Float64)
+	rt.ImageCoord(crd, part, dst)
+	if s := rt.CacheStats(); s.ImageSetEntries != 1 {
+		t.Fatalf("expected one image set entry: %+v", s)
+	}
+	rt.Rescale(2)
+	if s := rt.CacheStats(); s.ImageSetEntries != 0 || s.ImageEntries != 0 {
+		t.Fatalf("Rescale left image caches populated: %+v", s)
+	}
+}

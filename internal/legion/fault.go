@@ -241,6 +241,7 @@ func (rt *Runtime) Rescale(n int) {
 	}
 	rt.imageCache = map[imageKey]*Partition{}
 	rt.alignCache = map[alignKey]*Partition{}
+	rt.imageSets = map[imageSetsKey]*imageSetsEntry{}
 	rt.mu.Unlock()
 }
 

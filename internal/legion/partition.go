@@ -16,7 +16,8 @@ type Partition struct {
 	region    *Region
 	subspaces []geometry.IntervalSet
 	disjoint  bool
-	kind      string // "block", "rects", "image-range", "image-coord", "explicit"
+	kind      string   // "block", "rects", "image-range", "image-coord", "explicit"
+	srcRegion RegionID // for images/preimages: the region whose contents defined the subspaces (0 otherwise)
 }
 
 // Region returns the region this partition subdivides.
@@ -75,9 +76,11 @@ func (rt *Runtime) BlockPartition(r *Region, colors int) *Partition {
 	key := partCacheKey{region: r.id, colors: colors, broadcast: false}
 	rt.mu.Lock()
 	if p, ok := rt.partCache[key]; ok {
+		rt.cacheStats.PartHits++
 		rt.mu.Unlock()
 		return p
 	}
+	rt.cacheStats.PartMisses++
 	rt.mu.Unlock()
 	rects := geometry.Tile(r.Domain(), colors)
 	subs := make([]geometry.IntervalSet, colors)
@@ -143,9 +146,11 @@ func (rt *Runtime) AlignedPartition(p *Partition, r *Region) *Partition {
 	key := alignKey{part: p.id, region: r.id}
 	rt.mu.Lock()
 	if q, ok := rt.alignCache[key]; ok {
+		rt.cacheStats.AlignHits++
 		rt.mu.Unlock()
 		return q
 	}
+	rt.cacheStats.AlignMisses++
 	rt.mu.Unlock()
 	q := rt.newPartition(r, p.subspaces, p.disjoint, p.kind)
 	rt.mu.Lock()
@@ -177,6 +182,10 @@ type imageKey struct {
 // Images are cached on (source partition, source version, destination);
 // re-launching an operation with unchanged inputs reuses the cached
 // partition, which is what makes the steady state of Figure 5 cheap.
+// The computed subspaces are additionally cached per (source partition,
+// source version, destination *size*), so a fresh destination region of
+// the same size — a solver temporary allocated per request — reuses the
+// subspace computation and pays only a cheap Partition wrapper.
 func (rt *Runtime) ImageRange(src *Region, srcPart *Partition, dst *Region) *Partition {
 	src.checkType(RectType)
 	if srcPart.Region() != src {
@@ -184,27 +193,45 @@ func (rt *Runtime) ImageRange(src *Region, srcPart *Partition, dst *Region) *Par
 	}
 	rt.fenceRegion(src) // the image reads src's contents on the app thread
 	key := imageKey{srcPart: srcPart.id, srcVersion: src.version, dst: dst.id}
+	setsKey := imageSetsKey{srcPart: srcPart.id, srcVersion: src.version, dstSize: dst.size}
 	rt.mu.Lock()
 	if p, ok := rt.imageCache[key]; ok {
+		rt.cacheStats.ImageHits++
 		rt.mu.Unlock()
 		return p
 	}
+	rt.cacheStats.ImageMisses++
+	cached := rt.lookupImageSets(setsKey)
 	rt.mu.Unlock()
 
-	subs := make([]geometry.IntervalSet, srcPart.Colors())
-	data := src.rect
-	for c := 0; c < srcPart.Colors(); c++ {
-		var rects []geometry.Rect
-		srcPart.Subspace(c).Each(func(i int64) {
-			if r := data[i]; !r.Empty() {
-				rects = append(rects, r)
-			}
-		})
-		subs[c] = geometry.NewIntervalSet(rects...)
+	var subs []geometry.IntervalSet
+	var disjoint bool
+	if cached != nil {
+		subs, disjoint = cached.subs, cached.disjoint
+	} else {
+		subs = make([]geometry.IntervalSet, srcPart.Colors())
+		data := src.rect
+		for c := 0; c < srcPart.Colors(); c++ {
+			var rects []geometry.Rect
+			srcPart.Subspace(c).Each(func(i int64) {
+				if r := data[i]; !r.Empty() {
+					rects = append(rects, r)
+				}
+			})
+			subs[c] = geometry.NewIntervalSet(rects...)
+		}
+		disjoint = disjointSubspaces(subs)
 	}
-	p := rt.newPartition(dst, subs, disjointSubspaces(subs), "image-range")
+	p := rt.newPartition(dst, subs, disjoint, "image-range")
+	p.srcRegion = src.id
 	rt.mu.Lock()
 	rt.imageCache[key] = p
+	if cached != nil {
+		rt.cacheStats.ImageSetHits++
+	} else {
+		rt.cacheStats.ImageBuilds++
+		rt.storeImageSets(setsKey, src.id, subs, disjoint)
+	}
 	rt.mu.Unlock()
 	return p
 }
@@ -221,25 +248,43 @@ func (rt *Runtime) ImageCoord(src *Region, srcPart *Partition, dst *Region) *Par
 	}
 	rt.fenceRegion(src) // the image reads src's contents on the app thread
 	key := imageKey{srcPart: srcPart.id, srcVersion: src.version, dst: dst.id}
+	setsKey := imageSetsKey{srcPart: srcPart.id, srcVersion: src.version, dstSize: dst.size}
 	rt.mu.Lock()
 	if p, ok := rt.imageCache[key]; ok {
+		rt.cacheStats.ImageHits++
 		rt.mu.Unlock()
 		return p
 	}
+	rt.cacheStats.ImageMisses++
+	cached := rt.lookupImageSets(setsKey)
 	rt.mu.Unlock()
 
-	subs := make([]geometry.IntervalSet, srcPart.Colors())
-	data := src.i64
-	for c := 0; c < srcPart.Colors(); c++ {
-		var pts []int64
-		srcPart.Subspace(c).Each(func(i int64) {
-			pts = append(pts, data[i])
-		})
-		subs[c] = geometry.FromPoints(pts)
+	var subs []geometry.IntervalSet
+	var disjoint bool
+	if cached != nil {
+		subs, disjoint = cached.subs, cached.disjoint
+	} else {
+		subs = make([]geometry.IntervalSet, srcPart.Colors())
+		data := src.i64
+		for c := 0; c < srcPart.Colors(); c++ {
+			var pts []int64
+			srcPart.Subspace(c).Each(func(i int64) {
+				pts = append(pts, data[i])
+			})
+			subs[c] = geometry.FromPoints(pts)
+		}
+		disjoint = disjointSubspaces(subs)
 	}
-	p := rt.newPartition(dst, subs, disjointSubspaces(subs), "image-coord")
+	p := rt.newPartition(dst, subs, disjoint, "image-coord")
+	p.srcRegion = src.id
 	rt.mu.Lock()
 	rt.imageCache[key] = p
+	if cached != nil {
+		rt.cacheStats.ImageSetHits++
+	} else {
+		rt.cacheStats.ImageBuilds++
+		rt.storeImageSets(setsKey, src.id, subs, disjoint)
+	}
 	rt.mu.Unlock()
 	return p
 }
@@ -258,9 +303,11 @@ func (rt *Runtime) PreimageCoord(src *Region, dstPart *Partition) *Partition {
 	key := imageKey{srcPart: -dstPart.id, srcVersion: src.version, dst: src.id}
 	rt.mu.Lock()
 	if p, ok := rt.imageCache[key]; ok {
+		rt.cacheStats.ImageHits++
 		rt.mu.Unlock()
 		return p
 	}
+	rt.cacheStats.ImageMisses++
 	rt.mu.Unlock()
 
 	data := src.i64
@@ -277,6 +324,7 @@ func (rt *Runtime) PreimageCoord(src *Region, dstPart *Partition) *Partition {
 		subs[c] = geometry.FromPoints(pts[c])
 	}
 	p := rt.newPartition(src, subs, dstPart.Disjoint(), "preimage-coord")
+	p.srcRegion = dstPart.region.id
 	rt.mu.Lock()
 	rt.imageCache[key] = p
 	rt.mu.Unlock()
@@ -293,9 +341,11 @@ func (rt *Runtime) PreimageRange(src *Region, dstPart *Partition) *Partition {
 	key := imageKey{srcPart: -dstPart.id, srcVersion: src.version, dst: src.id}
 	rt.mu.Lock()
 	if p, ok := rt.imageCache[key]; ok {
+		rt.cacheStats.ImageHits++
 		rt.mu.Unlock()
 		return p
 	}
+	rt.cacheStats.ImageMisses++
 	rt.mu.Unlock()
 
 	data := src.rect
@@ -316,6 +366,7 @@ func (rt *Runtime) PreimageRange(src *Region, dstPart *Partition) *Partition {
 		subs[c] = geometry.FromPoints(pts[c])
 	}
 	p := rt.newPartition(src, subs, disjointSubspaces(subs), "preimage-range")
+	p.srcRegion = dstPart.region.id
 	rt.mu.Lock()
 	rt.imageCache[key] = p
 	rt.mu.Unlock()
@@ -330,9 +381,11 @@ func (rt *Runtime) BroadcastPartition(r *Region, colors int) *Partition {
 	key := partCacheKey{region: r.id, colors: colors, broadcast: true}
 	rt.mu.Lock()
 	if p, ok := rt.partCache[key]; ok {
+		rt.cacheStats.PartHits++
 		rt.mu.Unlock()
 		return p
 	}
+	rt.cacheStats.PartMisses++
 	rt.mu.Unlock()
 	full := geometry.NewIntervalSet(r.Domain())
 	subs := make([]geometry.IntervalSet, colors)

@@ -53,6 +53,8 @@ type Runtime struct {
 	imageCache    map[imageKey]*Partition
 	partCache     map[partCacheKey]*Partition
 	alignCache    map[alignKey]*Partition
+	imageSets     map[imageSetsKey]*imageSetsEntry
+	cacheStats    CacheStats
 	analysisClock time.Duration
 	err           error
 
@@ -113,6 +115,7 @@ func NewRuntime(m *machine.Machine, procs []machine.ProcID) *Runtime {
 		imageCache: map[imageKey]*Partition{},
 		partCache:  map[partCacheKey]*Partition{},
 		alignCache: map[alignKey]*Partition{},
+		imageSets:  map[imageSetsKey]*imageSetsEntry{},
 		procBusy:   map[machine.ProcID]time.Duration{},
 		workers:    map[machine.ProcID]*worker{},
 	}
@@ -230,21 +233,7 @@ func (rt *Runtime) Destroy(r *Region) {
 	rt.map_.regionDestroyed(r)
 	rt.mu.Lock()
 	delete(rt.regions, r.id)
-	for k := range rt.partCache {
-		if k.region == r.id {
-			delete(rt.partCache, k)
-		}
-	}
-	for k := range rt.imageCache {
-		if k.dst == r.id {
-			delete(rt.imageCache, k)
-		}
-	}
-	for k := range rt.alignCache {
-		if k.region == r.id {
-			delete(rt.alignCache, k)
-		}
-	}
+	rt.dropRegionCachesLocked(r)
 	rt.mu.Unlock()
 }
 

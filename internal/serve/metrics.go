@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/distal"
+	"repro/internal/legion"
+)
+
+// metrics is the server's counter set, exposed as JSON on /metrics.
+// Everything is atomic: counters are bumped from handler goroutines and
+// worker goroutines concurrently.
+type metrics struct {
+	inflight atomic.Int64
+	uploads  atomic.Int64
+	failures atomic.Int64
+
+	bindHits      atomic.Int64
+	bindMisses    atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+
+	batches     atomic.Int64
+	batchedJobs atomic.Int64
+	maxBatch    atomic.Int64
+
+	replacements atomic.Int64
+	retries      atomic.Int64
+
+	classCount [3]atomic.Int64
+	classNS    [3]atomic.Int64
+}
+
+func newMetrics() *metrics { return &metrics{} }
+
+func (m *metrics) observe(c reqClass, lat time.Duration) {
+	m.classCount[c].Add(1)
+	m.classNS[c].Add(lat.Nanoseconds())
+}
+
+func (m *metrics) noteBatch(n int) {
+	m.batches.Add(1)
+	m.batchedJobs.Add(int64(n))
+	for {
+		cur := m.maxBatch.Load()
+		if int64(n) <= cur || m.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.
+type MetricsSnapshot struct {
+	Inflight int64 `json:"inflight"`
+	Uploads  int64 `json:"uploads"`
+	Failures int64 `json:"failures"`
+
+	Requests map[string]ClassMetrics `json:"requests"`
+
+	BindingCache CacheMetrics `json:"binding_cache"`
+	Batching     BatchMetrics `json:"batching"`
+	Pool         PoolMetrics  `json:"pool"`
+
+	// PartitionCache aggregates every live pool runtime's legion cache
+	// counters — the §4.1 partition reuse this server exists to exploit.
+	PartitionCache legion.CacheStats `json:"partition_cache"`
+	// PlanCache is the DISTAL kernel registry: the compiled-plan cache
+	// shared by all runtimes.
+	PlanCache distal.RegistryStats `json:"plan_cache"`
+}
+
+// ClassMetrics is the per-request-class roll-up.
+type ClassMetrics struct {
+	Count   int64 `json:"count"`
+	MeanNS  int64 `json:"mean_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// CacheMetrics reports the worker binding caches.
+type CacheMetrics struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// BatchMetrics reports request coalescing.
+type BatchMetrics struct {
+	Batches  int64   `json:"batches"`
+	Jobs     int64   `json:"jobs"`
+	MeanSize float64 `json:"mean_size"`
+	MaxSize  int64   `json:"max_size"`
+}
+
+// PoolMetrics reports worker-pool health.
+type PoolMetrics struct {
+	Workers      int   `json:"workers"`
+	Replacements int64 `json:"replacements"`
+	Retries      int64 `json:"retries"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.metrics
+	snap := MetricsSnapshot{
+		Inflight: m.inflight.Load(),
+		Uploads:  m.uploads.Load(),
+		Failures: m.failures.Load(),
+		Requests: map[string]ClassMetrics{},
+		BindingCache: CacheMetrics{
+			Hits:          m.bindHits.Load(),
+			Misses:        m.bindMisses.Load(),
+			Evictions:     m.evictions.Load(),
+			Invalidations: m.invalidations.Load(),
+		},
+		Batching: BatchMetrics{
+			Batches: m.batches.Load(),
+			Jobs:    m.batchedJobs.Load(),
+			MaxSize: m.maxBatch.Load(),
+		},
+		Pool: PoolMetrics{
+			Workers:      len(s.workers),
+			Replacements: m.replacements.Load(),
+			Retries:      m.retries.Load(),
+		},
+		PlanCache: distal.Standard.Stats(),
+	}
+	if snap.Batching.Batches > 0 {
+		snap.Batching.MeanSize = float64(snap.Batching.Jobs) / float64(snap.Batching.Batches)
+	}
+	for c := classSolve; c <= classEigen; c++ {
+		cm := ClassMetrics{Count: m.classCount[c].Load(), TotalNS: m.classNS[c].Load()}
+		if cm.Count > 0 {
+			cm.MeanNS = cm.TotalNS / cm.Count
+		}
+		snap.Requests[c.String()] = cm
+	}
+	for _, wk := range s.workers {
+		cs := wk.cacheStats()
+		snap.PartitionCache.PartHits += cs.PartHits
+		snap.PartitionCache.PartMisses += cs.PartMisses
+		snap.PartitionCache.AlignHits += cs.AlignHits
+		snap.PartitionCache.AlignMisses += cs.AlignMisses
+		snap.PartitionCache.ImageHits += cs.ImageHits
+		snap.PartitionCache.ImageMisses += cs.ImageMisses
+		snap.PartitionCache.ImageSetHits += cs.ImageSetHits
+		snap.PartitionCache.ImageBuilds += cs.ImageBuilds
+		snap.PartitionCache.PartEntries += cs.PartEntries
+		snap.PartitionCache.AlignEntries += cs.AlignEntries
+		snap.PartitionCache.ImageEntries += cs.ImageEntries
+		snap.PartitionCache.ImageSetEntries += cs.ImageSetEntries
+	}
+	writeJSON(w, snap)
+}
+
+// handleProfile snapshots one request class's profiling sink and
+// returns its built report: GET /profile?class=solve|spmv|eigen.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	class := r.URL.Query().Get("class")
+	if class == "" {
+		class = "solve"
+	}
+	sink, ok := s.sinks[class]
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown request class %q", class))
+		return
+	}
+	report := sink.Snapshot().BuildReport()
+	w.Header().Set("Content-Type", "application/json")
+	if err := report.WriteJSON(w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}

@@ -1,0 +1,532 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/solvers"
+)
+
+// ---- helpers ----------------------------------------------------------
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postJSON posts body and decodes the reply into out (if non-nil),
+// returning the HTTP status.
+func postJSON(t testing.TB, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// directRuntime mirrors newPoolRuntime's CPU configuration so direct
+// solver calls are an apples-to-apples reference for server replies.
+func directRuntime(procs int) *legion.Runtime {
+	m := machine.New(machine.Config{Nodes: (procs + 1) / 2})
+	rt := legion.NewRuntime(m, m.Select(machine.CPU, procs))
+	rt.EnableCheckpointing(64)
+	return rt
+}
+
+// directBind reproduces the server's binding path: preset triples via
+// the store's builder, then FromTriples plus format conversion.
+func directBind(t testing.TB, rt *legion.Runtime, matrix, format string) core.SparseMatrix {
+	t.Helper()
+	d, err := buildPreset(matrix)
+	if err != nil {
+		t.Fatalf("buildPreset(%s): %v", matrix, err)
+	}
+	mat, err := d.bind(rt, format)
+	if err != nil {
+		t.Fatalf("bind(%s, %s): %v", matrix, format, err)
+	}
+	return mat
+}
+
+// directCG solves A x = 1 with CG exactly the way the server does.
+func directCG(t testing.TB, procs int, matrix string, maxIter int, tol float64) ([]float64, int, bool) {
+	t.Helper()
+	rt := directRuntime(procs)
+	defer rt.Shutdown()
+	a := directBind(t, rt, matrix, "csr")
+	defer a.Destroy()
+	rows, _ := a.Shape()
+	rhs := cunumeric.Full(rt, rows, 1)
+	defer rhs.Destroy()
+	res := solvers.CG(a, rhs, maxIter, tol)
+	if rt.Err() != nil {
+		t.Fatalf("direct runtime error: %v", rt.Err())
+	}
+	x := res.X.ToSlice()
+	res.X.Destroy()
+	return x, res.Iterations, res.Converged
+}
+
+// directSpMV computes A @ x (x defaulting to ones) the way the server does.
+func directSpMV(t testing.TB, procs int, matrix, format string, xs []float64) []float64 {
+	t.Helper()
+	rt := directRuntime(procs)
+	defer rt.Shutdown()
+	a := directBind(t, rt, matrix, format)
+	defer a.Destroy()
+	rows, cols := a.Shape()
+	var x *cunumeric.Array
+	if xs != nil {
+		x = cunumeric.FromSlice(rt, xs)
+	} else {
+		x = cunumeric.Full(rt, cols, 1)
+	}
+	defer x.Destroy()
+	y := cunumeric.Zeros(rt, rows)
+	defer y.Destroy()
+	a.SpMVInto(y, x)
+	rt.Fence()
+	return y.ToSlice()
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d = math.Max(d, math.Abs(a[i]-b[i]))
+	}
+	return d
+}
+
+// ---- correctness vs direct calls --------------------------------------
+
+func TestSolveMatchesDirectCG(t *testing.T) {
+	const procs = 4
+	_, ts := newTestServer(t, Config{Pool: 1, Procs: procs})
+
+	var got SolveResponse
+	if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:16"}, &got); code != 200 {
+		t.Fatalf("solve status %d", code)
+	}
+	want, iters, conv := directCG(t, procs, "poisson2d:16", 200, 1e-8)
+	if !conv || !got.Converged {
+		t.Fatalf("converged: direct=%v served=%v", conv, got.Converged)
+	}
+	if got.Iterations != iters {
+		t.Fatalf("iterations: direct=%d served=%d", iters, got.Iterations)
+	}
+	if !bitsEqual(got.X, want) {
+		t.Fatalf("served CG solution is not bit-identical to direct call (max |diff| %g)", maxAbsDiff(got.X, want))
+	}
+
+	// A second identical request must hit the binding cache and return
+	// the exact same bits.
+	var again SolveResponse
+	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:16"}, &again)
+	if again.Cache != "hit" {
+		t.Fatalf("second request cache = %q, want hit", again.Cache)
+	}
+	if !bitsEqual(again.X, want) {
+		t.Fatal("warm-cache solve differs from cold solve")
+	}
+}
+
+func TestSpMVMatchesDirectPerFormat(t *testing.T) {
+	const procs = 4
+	_, ts := newTestServer(t, Config{Pool: 1, Procs: procs})
+
+	// poisson2d:8 is 64x64 with even dimensions, so every format
+	// (including BSR with block size 2) can bind it.
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i%7) - 3
+	}
+	for _, format := range []string{"csr", "dia", "bsr", "csc", "coo"} {
+		var got SpMVResponse
+		req := SpMVRequest{Matrix: "poisson2d:8", Format: format, X: xs}
+		if code := postJSON(t, ts.URL+"/spmv", req, &got); code != 200 {
+			t.Fatalf("[%s] spmv status %d", format, code)
+		}
+		want := directSpMV(t, procs, "poisson2d:8", format, xs)
+		switch format {
+		case "csr", "dia", "bsr":
+			// Gather formats are deterministic: bit-identical.
+			if !bitsEqual(got.Y, want) {
+				t.Errorf("[%s] served SpMV not bit-identical to direct (max |diff| %g)", format, maxAbsDiff(got.Y, want))
+			}
+		default:
+			// Scatter formats reduce with ReduceAdd; only roundoff-identical.
+			if d := maxAbsDiff(got.Y, want); d > 1e-12 {
+				t.Errorf("[%s] served SpMV differs from direct by %g", format, d)
+			}
+		}
+	}
+}
+
+func TestEigenMatchesDirect(t *testing.T) {
+	const procs = 4
+	_, ts := newTestServer(t, Config{Pool: 1, Procs: procs})
+
+	var got EigenResponse
+	req := EigenRequest{Matrix: "poisson2d:8", Iters: 30, Seed: 9}
+	if code := postJSON(t, ts.URL+"/eigen", req, &got); code != 200 {
+		t.Fatalf("eigen status %d", code)
+	}
+
+	rt := directRuntime(procs)
+	defer rt.Shutdown()
+	a := directBind(t, rt, "poisson2d:8", "csr")
+	defer a.Destroy()
+	lambda, vec := solvers.PowerIteration(a, 30, 9)
+	want := vec.ToSlice()
+	vec.Destroy()
+
+	if math.Float64bits(got.Eigenvalue) != math.Float64bits(lambda) {
+		t.Fatalf("eigenvalue: direct=%v served=%v", lambda, got.Eigenvalue)
+	}
+	if !bitsEqual(got.Vector, want) {
+		t.Fatal("served eigenvector is not bit-identical to direct call")
+	}
+}
+
+// ---- upload & invalidation --------------------------------------------
+
+func TestUploadReuploadInvalidatesBindings(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, Procs: 4})
+
+	diag := func(v float64) UploadRequest {
+		req := UploadRequest{Name: "m", Rows: 8, Cols: 8}
+		for i := int64(0); i < 8; i++ {
+			req.Row = append(req.Row, i)
+			req.Col = append(req.Col, i)
+			req.Val = append(req.Val, v)
+		}
+		return req
+	}
+
+	if code := postJSON(t, ts.URL+"/matrix", diag(2), nil); code != 200 {
+		t.Fatalf("upload status %d", code)
+	}
+	var first SolveResponse
+	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "m"}, &first)
+	for i, x := range first.X {
+		if x != 0.5 {
+			t.Fatalf("x[%d] = %v solving diag(2) x = 1, want 0.5", i, x)
+		}
+	}
+
+	// Re-upload under the same name with different contents: cached
+	// bindings of the old fingerprint must be dropped and the next
+	// solve must see the new matrix.
+	if code := postJSON(t, ts.URL+"/matrix", diag(4), nil); code != 200 {
+		t.Fatalf("re-upload status %d", code)
+	}
+	var second SolveResponse
+	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "m"}, &second)
+	for i, x := range second.X {
+		if x != 0.25 {
+			t.Fatalf("x[%d] = %v solving diag(4) x = 1 after re-upload, want 0.25", i, x)
+		}
+	}
+	if second.Cache != "miss" {
+		t.Fatalf("solve after re-upload hit a stale binding (cache=%q)", second.Cache)
+	}
+	if n := s.metrics.invalidations.Load(); n < 1 {
+		t.Fatalf("invalidations = %d after re-upload, want >= 1", n)
+	}
+}
+
+// ---- concurrency, batching, faults ------------------------------------
+
+func TestConcurrentMixedRequestsUnderFaults(t *testing.T) {
+	const procs = 4
+	_, ts := newTestServer(t, Config{
+		Pool:            2,
+		Procs:           procs,
+		Faults:          "rate:0.002:4",
+		Seed:            11,
+		CheckpointEvery: 16,
+		BatchWindow:     time.Millisecond,
+	})
+
+	wantSolve, _, _ := directCG(t, procs, "poisson2d:12", 200, 1e-8)
+	wantSpMV := directSpMV(t, procs, "banded:48", "csr", nil)
+	wantEye := directSpMV(t, procs, "eye:32", "csr", nil)
+
+	const n = 64
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait() // all n requests in flight together
+			switch i % 3 {
+			case 0:
+				var got SolveResponse
+				if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:12"}, &got); code != 200 {
+					errs[i] = fmt.Errorf("solve status %d", code)
+				} else if !bitsEqual(got.X, wantSolve) {
+					errs[i] = fmt.Errorf("solve result not bit-identical to direct call")
+				}
+			case 1:
+				var got SpMVResponse
+				if code := postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "banded:48"}, &got); code != 200 {
+					errs[i] = fmt.Errorf("spmv status %d", code)
+				} else if !bitsEqual(got.Y, wantSpMV) {
+					errs[i] = fmt.Errorf("spmv result not bit-identical to direct call")
+				}
+			default:
+				var got SpMVResponse
+				if code := postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "eye:32"}, &got); code != 200 {
+					errs[i] = fmt.Errorf("eye spmv status %d", code)
+				} else if !bitsEqual(got.Y, wantEye) {
+					errs[i] = fmt.Errorf("eye spmv result not bit-identical to direct call")
+				}
+			}
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestBatchingCoalescesSameMatrixRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: 1, Procs: 4, BatchWindow: 40 * time.Millisecond})
+
+	want := directSpMV(t, 4, "poisson2d:8", "csr", nil)
+	const n = 8
+	got := make([]SpMVResponse, n)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			if code := postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, &got[i]); code != 200 {
+				t.Errorf("spmv %d status %d", i, code)
+			}
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	maxBatch := 0
+	for i := range got {
+		if !bitsEqual(got[i].Y, want) {
+			t.Errorf("spmv %d differs from direct call", i)
+		}
+		if got[i].Batched > maxBatch {
+			maxBatch = got[i].Batched
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no coalescing observed across %d concurrent same-matrix requests (max batch %d)", n, maxBatch)
+	}
+	if mb := s.metrics.maxBatch.Load(); mb < 2 {
+		t.Fatalf("metrics max batch = %d, want >= 2", mb)
+	}
+}
+
+func TestProcDeathReplacesPoolRuntime(t *testing.T) {
+	const procs = 4
+	// Processor 0 (the first selected CPU) dies at the first clock
+	// boundary of every pool runtime; checkpoint recovery re-homes the
+	// in-flight epoch, the worker answers, then swaps the runtime.
+	s, ts := newTestServer(t, Config{
+		Pool:            1,
+		Procs:           procs,
+		Faults:          "proc@0:1ns",
+		CheckpointEvery: 8,
+	})
+
+	want, _, _ := directCG(t, procs, "poisson2d:12", 200, 1e-8)
+	for i := 0; i < 2; i++ {
+		var got SolveResponse
+		if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:12"}, &got); code != 200 {
+			t.Fatalf("solve %d status %d", i, code)
+		}
+		if !bitsEqual(got.X, want) {
+			t.Fatalf("solve %d after processor death is not bit-identical to the healthy direct call", i)
+		}
+	}
+	if n := s.metrics.replacements.Load(); n < 1 {
+		t.Fatalf("pool replacements = %d after processor deaths, want >= 1", n)
+	}
+}
+
+// ---- endpoints & validation -------------------------------------------
+
+func TestMetricsAndProfileEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, Procs: 4})
+
+	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, nil)
+	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, nil)
+	postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, nil)
+
+	var m MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Requests["solve"].Count != 2 || m.Requests["spmv"].Count != 1 {
+		t.Fatalf("request counts = %+v", m.Requests)
+	}
+	if m.BindingCache.Hits < 1 {
+		t.Fatalf("binding cache hits = %d, want >= 1 (second solve reused the binding)", m.BindingCache.Hits)
+	}
+	if m.PartitionCache.PartHits == 0 && m.PartitionCache.AlignHits == 0 && m.PartitionCache.ImageHits == 0 {
+		t.Fatal("partition cache shows no hits at all after repeated requests")
+	}
+	if m.PlanCache.Hits < 1 {
+		t.Fatalf("plan cache hits = %d, want >= 1", m.PlanCache.Hits)
+	}
+
+	var report map[string]any
+	if code := getJSON(t, ts.URL+"/profile?class=solve", &report); code != 200 {
+		t.Fatalf("profile status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/profile?class=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("profile bogus class status %d, want 400", code)
+	}
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, Procs: 4})
+
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"unknown solver", "/solve", SolveRequest{Matrix: "eye:8", Solver: "qr"}, 400},
+		{"missing matrix", "/solve", SolveRequest{}, 400},
+		{"unknown preset", "/solve", SolveRequest{Matrix: "hilbert:9"}, 404},
+		{"bad format", "/spmv", SpMVRequest{Matrix: "eye:8", Format: "ellpack"}, 400},
+		{"bsr odd size", "/spmv", SpMVRequest{Matrix: "poisson2d:5", Format: "bsr"}, 400},
+		{"wrong x length", "/spmv", SpMVRequest{Matrix: "eye:8", X: []float64{1, 2}}, 400},
+		{"wrong b length", "/solve", SolveRequest{Matrix: "eye:8", B: []float64{1}}, 400},
+		{"upload length mismatch", "/matrix", UploadRequest{Name: "u", Rows: 2, Cols: 2, Row: []int64{0}, Col: []int64{0, 1}, Val: []float64{1, 2}}, 400},
+		{"upload out of bounds", "/matrix", UploadRequest{Name: "u", Rows: 2, Cols: 2, Row: []int64{5}, Col: []int64{0}, Val: []float64{1}}, 400},
+	}
+	for _, tc := range cases {
+		if code := postJSON(t, ts.URL+tc.path, tc.body, nil); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	// Client errors must not have burned the pool: the runtime is
+	// healthy and a well-formed request still succeeds.
+	var ok SolveResponse
+	if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "eye:8"}, &ok); code != 200 {
+		t.Fatalf("solve after bad requests: status %d", code)
+	}
+}
+
+func TestGPUPoolSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, Procs: 4, Kind: "gpu"})
+	var got SolveResponse
+	if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, &got); code != 200 {
+		t.Fatalf("gpu solve status %d", code)
+	}
+	if !got.Converged {
+		t.Fatal("gpu solve did not converge")
+	}
+}
+
+// ---- benchmarks: the cache ablation -----------------------------------
+
+// benchServe measures one /solve request per iteration against a shared
+// server; cold flushes every cache between iterations.
+func benchServe(b *testing.B, cold bool) {
+	s, ts := newTestServer(b, Config{Pool: 1, Procs: 4, BatchWindow: -1})
+	req := SolveRequest{Matrix: "poisson2d:48", MaxIter: 1, Tol: 1e-30}
+
+	// Prime: materialize the preset and warm every cache once.
+	if code := postJSON(b, ts.URL+"/solve", req, nil); code != 200 {
+		b.Fatalf("prime status %d", code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cold {
+			b.StopTimer()
+			s.FlushCaches()
+			b.StartTimer()
+		}
+		if code := postJSON(b, ts.URL+"/solve", req, nil); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+func BenchmarkServeColdCG(b *testing.B) { benchServe(b, true) }
+func BenchmarkServeWarmCG(b *testing.B) { benchServe(b, false) }

@@ -1,0 +1,420 @@
+// Package serve exposes the runtime as a long-lived HTTP solver
+// service: legate-serve. A Server keeps a pool of warm legion.Runtimes
+// (one application goroutine each, honoring the runtime's sequential
+// launch-stream discipline) and serves solve, SpMV, and eigensolve
+// requests against matrices named by preset or uploaded as COO triples.
+//
+// The point of the pool being *warm* is cross-request caching. Three
+// layers of per-launch setup cost are amortized across requests:
+//
+//   - bound regions: each worker keeps an LRU of (matrix fingerprint,
+//     format) → bound SparseMatrix, so a repeat request skips triple
+//     canonicalization, region creation, and format conversion;
+//   - solved partitions: a warm runtime's partition caches (block,
+//     alignment, image, and the cross-region image-set cache added for
+//     this server) mean the constraint solver's per-op solve reuses
+//     first-class partitions instead of recomputing images (§4.1);
+//   - compiled DISTAL plans: the kernel registry is the plan cache,
+//     keyed (op, format, target); its hit/miss counters surface in
+//     /metrics.
+//
+// Requests against the same matrix route sticky to the same worker (so
+// its caches actually hit) and concurrent same-matrix requests coalesce
+// into one batch executed as a single fused launch-stream epoch. A
+// runtime that degrades under fault injection — sticky Err, or lost
+// processors — is drained and replaced in the pool; its batch is
+// retried once on the replacement.
+//
+// Endpoints: POST /solve, /spmv, /eigen, /matrix; GET /metrics,
+// /profile, /healthz. See ARCHITECTURE.md for the request data flow.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/prof"
+)
+
+// Config sizes a Server.
+type Config struct {
+	Pool            int           // warm runtimes in the pool (default 2)
+	Procs           int           // processors per runtime (default 4)
+	Kind            string        // "cpu" or "gpu" processors (default cpu)
+	CacheSize       int           // bound matrices kept per worker (default 8)
+	BatchWindow     time.Duration // coalescing window for same-matrix requests (default 2ms; negative disables)
+	Seed            uint64        // fault-injection seed
+	Faults          string        // fault.Parse spec applied to every pool runtime
+	CheckpointEvery int           // launches per checkpoint epoch (default 64; 0 disables recovery)
+	ProfCapacity    int           // per-class profiling sink capacity (default 4096)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = 2
+	}
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Kind == "" {
+		c.Kind = "cpu"
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.ProfCapacity <= 0 {
+		c.ProfCapacity = 4096
+	}
+	return c
+}
+
+// Server is the solver service: a matrix store, a pool of workers, and
+// the HTTP surface. Create with NewServer, serve via Handler, stop with
+// Close.
+type Server struct {
+	cfg     Config
+	store   *store
+	workers []*worker
+	metrics *metrics
+	sinks   map[string]*prof.Sink // per request class
+
+	mu     sync.Mutex
+	sticky map[core.Fingerprint]int // fingerprint → worker index
+	nextW  int
+	closed bool
+}
+
+// request classes, each with its own profiling sink.
+var requestClasses = []string{"solve", "spmv", "eigen"}
+
+// NewServer builds the pool and starts its worker goroutines.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Kind != "cpu" && cfg.Kind != "gpu" {
+		return nil, fmt.Errorf("serve: kind %q (want cpu or gpu)", cfg.Kind)
+	}
+	if _, err := fault.Parse(cfg.Faults, cfg.Seed); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(),
+		metrics: newMetrics(),
+		sinks:   map[string]*prof.Sink{},
+		sticky:  map[core.Fingerprint]int{},
+	}
+	for _, class := range requestClasses {
+		s.sinks[class] = prof.NewSink(cfg.ProfCapacity)
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		w := newWorker(i, s)
+		s.workers = append(s.workers, w)
+		go w.run()
+	}
+	return s, nil
+}
+
+// newPoolRuntime builds one pool runtime according to the config: its
+// own modeled machine, fault injector, and checkpointing. Each runtime
+// gets an independent machine so a processor death degrades one worker,
+// not the whole pool.
+func (s *Server) newPoolRuntime() *legion.Runtime {
+	var m *machine.Machine
+	var procs []machine.ProcID
+	if s.cfg.Kind == "gpu" {
+		m = machine.New(machine.Config{Nodes: (s.cfg.Procs + 5) / 6})
+		procs = m.Select(machine.GPU, s.cfg.Procs)
+	} else {
+		m = machine.New(machine.Config{Nodes: (s.cfg.Procs + 1) / 2})
+		procs = m.Select(machine.CPU, s.cfg.Procs)
+	}
+	rt := legion.NewRuntime(m, procs)
+	if s.cfg.Faults != "" {
+		inj, _ := fault.Parse(s.cfg.Faults, s.cfg.Seed) // validated in NewServer
+		rt.SetFaultInjector(inj)
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		rt.EnableCheckpointing(s.cfg.CheckpointEvery)
+	}
+	return rt
+}
+
+// presetRuntime is the throwaway runtime presets are materialized on.
+func presetRuntime() *legion.Runtime {
+	m := machine.New(machine.Config{Nodes: 1})
+	return legion.NewRuntime(m, m.Select(machine.CPU, 2))
+}
+
+// route returns the worker that owns fp, assigning round-robin on first
+// sight. Sticky routing is what makes a worker's binding and partition
+// caches hit: the same matrix always lands on the same warm runtime.
+func (s *Server) route(fp core.Fingerprint) *worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.sticky[fp]; ok {
+		return s.workers[i]
+	}
+	i := s.nextW % len(s.workers)
+	s.nextW++
+	s.sticky[fp] = i
+	return s.workers[i]
+}
+
+// Close drains and shuts down every pool runtime.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, w := range s.workers {
+		w.close()
+	}
+}
+
+// FlushCaches empties every worker's binding cache and the associated
+// runtime partition caches — the "cold" configuration of the cache
+// ablation (EXPERIMENTS.md) and of BenchmarkServeColdCG.
+func (s *Server) FlushCaches() {
+	for _, w := range s.workers {
+		w.flush()
+	}
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /spmv", s.handleSpMV)
+	mux.HandleFunc("POST /eigen", s.handleEigen)
+	mux.HandleFunc("POST /matrix", s.handleUpload)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /profile", s.handleProfile)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// SolveRequest is the body of POST /solve.
+type SolveRequest struct {
+	Matrix  string    `json:"matrix"`             // preset name or uploaded matrix
+	Solver  string    `json:"solver,omitempty"`   // cg|cgs|bicg|bicgstab|gmres (default cg)
+	Format  string    `json:"format,omitempty"`   // csr|csc|coo|dia|bsr (default csr)
+	Tol     float64   `json:"tol,omitempty"`      // convergence tolerance (default 1e-8)
+	MaxIter int       `json:"max_iter,omitempty"` // iteration cap (default 200)
+	Restart int       `json:"restart,omitempty"`  // GMRES restart length (default 30)
+	B       []float64 `json:"b,omitempty"`        // right-hand side (default all ones)
+}
+
+// SolveResponse is the body of a /solve reply.
+type SolveResponse struct {
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	Residual   float64   `json:"residual"`
+	Converged  bool      `json:"converged"`
+	Cache      string    `json:"cache"`   // "hit" or "miss" (binding cache)
+	Batched    int       `json:"batched"` // requests coalesced into this epoch
+	Worker     int       `json:"worker"`
+	LatencyNS  int64     `json:"latency_ns"`
+}
+
+// SpMVRequest is the body of POST /spmv.
+type SpMVRequest struct {
+	Matrix string    `json:"matrix"`
+	Format string    `json:"format,omitempty"`
+	X      []float64 `json:"x,omitempty"` // default all ones
+}
+
+// SpMVResponse is the body of a /spmv reply.
+type SpMVResponse struct {
+	Y         []float64 `json:"y"`
+	Cache     string    `json:"cache"`
+	Batched   int       `json:"batched"`
+	Worker    int       `json:"worker"`
+	LatencyNS int64     `json:"latency_ns"`
+}
+
+// EigenRequest is the body of POST /eigen (power iteration).
+type EigenRequest struct {
+	Matrix string `json:"matrix"`
+	Format string `json:"format,omitempty"`
+	Iters  int    `json:"iters,omitempty"` // default 50
+	Seed   uint64 `json:"seed,omitempty"`
+}
+
+// EigenResponse is the body of an /eigen reply.
+type EigenResponse struct {
+	Eigenvalue float64   `json:"eigenvalue"`
+	Vector     []float64 `json:"vector"`
+	Cache      string    `json:"cache"`
+	Worker     int       `json:"worker"`
+	LatencyNS  int64     `json:"latency_ns"`
+}
+
+// UploadRequest is the body of POST /matrix: COO triples for a named
+// matrix. Re-uploading a name replaces it and invalidates every cached
+// binding of the old contents.
+type UploadRequest struct {
+	Name string    `json:"name"`
+	Rows int64     `json:"rows"`
+	Cols int64     `json:"cols"`
+	Row  []int64   `json:"row"`
+	Col  []int64   `json:"col"`
+	Val  []float64 `json:"val"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Solver == "" {
+		req.Solver = "cg"
+	}
+	switch req.Solver {
+	case "cg", "cgs", "bicg", "bicgstab", "gmres":
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown solver %q", req.Solver))
+		return
+	}
+	if req.Tol == 0 {
+		req.Tol = 1e-8
+	}
+	if req.MaxIter <= 0 {
+		req.MaxIter = 200
+	}
+	if req.Restart <= 0 {
+		req.Restart = 30
+	}
+	s.dispatch(w, classSolve, req.Matrix, req.Format, &req)
+}
+
+func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
+	var req SpMVRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.dispatch(w, classSpMV, req.Matrix, req.Format, &req)
+}
+
+func (s *Server) handleEigen(w http.ResponseWriter, r *http.Request) {
+	var req EigenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Iters <= 0 {
+		req.Iters = 50
+	}
+	s.dispatch(w, classEigen, req.Matrix, req.Format, &req)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" || req.Rows <= 0 || req.Cols <= 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("upload needs name and positive rows/cols"))
+		return
+	}
+	if len(req.Row) != len(req.Col) || len(req.Col) != len(req.Val) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("row/col/val lengths differ"))
+		return
+	}
+	for i := range req.Row {
+		if req.Row[i] < 0 || req.Row[i] >= req.Rows || req.Col[i] < 0 || req.Col[i] >= req.Cols {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("triple %d out of bounds", i))
+			return
+		}
+	}
+	d := s.store.put(req.Name, req.Rows, req.Cols, req.Row, req.Col, req.Val)
+	s.metrics.uploads.Add(1)
+	writeJSON(w, map[string]any{
+		"name":        d.name,
+		"fingerprint": fmt.Sprintf("%016x", uint64(d.fp)),
+		"nnz":         len(d.v),
+	})
+	// Workers observe the store revision bump lazily; nudge them so
+	// stale bindings are dropped promptly rather than on next request.
+	for _, wk := range s.workers {
+		wk.nudge()
+	}
+}
+
+// dispatch resolves the matrix, routes the job to its sticky worker,
+// and waits for the outcome.
+func (s *Server) dispatch(w http.ResponseWriter, class reqClass, matrix, format string, req any) {
+	start := time.Now()
+	if matrix == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing matrix name"))
+		return
+	}
+	d, err := s.store.get(matrix)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if format == "" {
+		format = "csr"
+	}
+	j := &job{
+		class: class, def: d, format: format, req: req,
+		done: make(chan struct{}),
+	}
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	wk := s.route(d.fp)
+	if !wk.submit(j) {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+		return
+	}
+	<-j.done
+	if j.err != nil {
+		var ce clientError
+		if errors.As(j.err, &ce) {
+			httpError(w, http.StatusBadRequest, j.err)
+		} else {
+			httpError(w, http.StatusServiceUnavailable, j.err)
+			s.metrics.failures.Add(1)
+		}
+		return
+	}
+	lat := time.Since(start)
+	s.metrics.observe(class, lat)
+	j.finalize(lat)
+	writeJSON(w, j.resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"ok": true, "pool": len(s.workers)})
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,568 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+	"repro/internal/solvers"
+)
+
+// clientError marks a request as malformed (bad format, wrong-length
+// vector). It must NOT trigger the degradation protocol: the runtime is
+// healthy, the request is not.
+type clientError struct{ err error }
+
+func (e clientError) Error() string { return e.err.Error() }
+func (e clientError) Unwrap() error { return e.err }
+
+// reqClass is the request class a job belongs to; each class has its
+// own profiling sink and latency counters.
+type reqClass int
+
+const (
+	classSolve reqClass = iota
+	classSpMV
+	classEigen
+)
+
+func (c reqClass) String() string {
+	switch c {
+	case classSolve:
+		return "solve"
+	case classSpMV:
+		return "spmv"
+	case classEigen:
+		return "eigen"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// job is one in-flight request, handed from an HTTP handler goroutine
+// to a worker and back through the done channel.
+type job struct {
+	class  reqClass
+	def    *matrixDef
+	format string
+	req    any
+
+	resp     any
+	err      error
+	cacheHit bool
+	batched  int
+	workerID int
+	retried  bool
+	done     chan struct{}
+}
+
+// finalize stamps the transport-level fields into the response after
+// the worker filled the payload.
+func (j *job) finalize(lat time.Duration) {
+	cache := "miss"
+	if j.cacheHit {
+		cache = "hit"
+	}
+	switch r := j.resp.(type) {
+	case *SolveResponse:
+		r.Cache, r.Batched, r.Worker, r.LatencyNS = cache, j.batched, j.workerID, lat.Nanoseconds()
+	case *SpMVResponse:
+		r.Cache, r.Batched, r.Worker, r.LatencyNS = cache, j.batched, j.workerID, lat.Nanoseconds()
+	case *EigenResponse:
+		r.Cache, r.Worker, r.LatencyNS = cache, j.workerID, lat.Nanoseconds()
+	}
+}
+
+// bindKey identifies one cached binding: the matrix contents and the
+// storage format it was materialized in.
+type bindKey struct {
+	fp     core.Fingerprint
+	format string
+}
+
+// binding is one warm (matrix, format) entry: the bound regions plus
+// persistent work vectors, so repeated SpMV-class requests reuse the
+// exact partition objects of previous requests.
+type binding struct {
+	def  *matrixDef
+	mat  core.SparseMatrix
+	x, y *cunumeric.Array // persistent operand/result vectors
+	used int64            // LRU clock
+}
+
+// worker owns one pool runtime. All runtime calls happen on the worker
+// goroutine — the runtime's application-goroutine discipline — so the
+// HTTP layer communicates exclusively through the jobs channel.
+type worker struct {
+	id  int
+	srv *Server
+
+	jobs    chan *job
+	control chan func() // flush, nudge; executed between batches
+	quitCh  chan struct{}
+
+	// rtPub mirrors rt for cross-goroutine reads (metrics); only the
+	// worker goroutine writes it.
+	rtPub atomic.Pointer[legion.Runtime]
+
+	// Worker-goroutine state below; never touched from outside.
+	rt       *legion.Runtime
+	bindings map[bindKey]*binding
+	lruClock int64
+	storeRev int64
+	curSink  string
+}
+
+// cacheStats snapshots the current pool runtime's partition-cache
+// counters; safe from any goroutine.
+func (w *worker) cacheStats() legion.CacheStats {
+	if rt := w.rtPub.Load(); rt != nil {
+		return rt.CacheStats()
+	}
+	return legion.CacheStats{}
+}
+
+func newWorker(id int, s *Server) *worker {
+	return &worker{
+		id:      id,
+		srv:     s,
+		jobs:    make(chan *job, 256),
+		control: make(chan func(), 8),
+		quitCh:  make(chan struct{}),
+	}
+}
+
+// submit hands a job to the worker; false once the server is closing.
+func (w *worker) submit(j *job) bool {
+	select {
+	case <-w.quitCh:
+		return false
+	default:
+	}
+	select {
+	case w.jobs <- j:
+		return true
+	case <-w.quitCh:
+		return false
+	}
+}
+
+// flush empties the binding cache (and the runtime caches behind it)
+// synchronously — the benchmark's cold configuration.
+func (w *worker) flush() {
+	done := make(chan struct{})
+	select {
+	case w.control <- func() { w.dropAllBindings(); close(done) }:
+		<-done
+	case <-w.quitCh:
+	}
+}
+
+// nudge asks the worker to re-check the store revision soon (after a
+// re-upload), without blocking the caller.
+func (w *worker) nudge() {
+	select {
+	case w.control <- func() { w.dropStaleBindings() }:
+	default: // worker busy; it re-checks before its next batch anyway
+	}
+}
+
+func (w *worker) close() {
+	select {
+	case <-w.quitCh:
+		return
+	default:
+		close(w.quitCh)
+	}
+}
+
+// run is the worker goroutine: build the runtime, then serve batches
+// until the server closes.
+func (w *worker) run() {
+	w.rt = w.srv.newPoolRuntime()
+	w.rtPub.Store(w.rt)
+	w.bindings = map[bindKey]*binding{}
+	defer func() {
+		w.dropAllBindings()
+		w.rt.Shutdown()
+	}()
+	for {
+		select {
+		case <-w.quitCh:
+			return
+		case f := <-w.control:
+			f()
+		case j := <-w.jobs:
+			w.serveBatch(w.collectBatch(j))
+		}
+	}
+}
+
+// collectBatch gathers the jobs that arrive within the batch window
+// after the first one — the coalescing that turns a burst of concurrent
+// same-matrix requests into one launch-stream epoch.
+func (w *worker) collectBatch(first *job) []*job {
+	batch := []*job{first}
+	if w.srv.cfg.BatchWindow <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(w.srv.cfg.BatchWindow)
+	defer timer.Stop()
+	for {
+		select {
+		case j := <-w.jobs:
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		case <-w.quitCh:
+			return batch
+		}
+	}
+}
+
+// serveBatch groups a batch by (matrix, format) and runs each group as
+// one epoch on the warm runtime, replacing the runtime and retrying
+// once if it degrades.
+func (w *worker) serveBatch(batch []*job) {
+	w.dropStaleBindings()
+	// Group jobs by binding key, preserving arrival order of groups.
+	var order []bindKey
+	groups := map[bindKey][]*job{}
+	for _, j := range batch {
+		k := bindKey{fp: j.def.fp, format: j.format}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], j)
+	}
+	for _, k := range order {
+		group := groups[k]
+		w.srv.metrics.noteBatch(len(group))
+		w.runGroup(k, group)
+	}
+}
+
+// runGroup executes one same-binding group as a single epoch and
+// applies the degradation protocol afterwards.
+func (w *worker) runGroup(k bindKey, group []*job) {
+	err := w.runGroupOnce(k, group)
+	var ce clientError
+	if errors.As(err, &ce) && w.rt.Err() == nil {
+		w.finish(group, err)
+		return
+	}
+	if err == nil && w.rt.Err() == nil {
+		healthy := w.rt.NumProcs() >= w.srv.cfg.Procs
+		w.finish(group, nil)
+		if !healthy {
+			// Processor death mid-epoch: checkpoint recovery already
+			// re-homed the work, so results are valid — but the shrunken
+			// runtime would serve degraded from here on. Replace it
+			// after responding.
+			w.replaceRuntime()
+		}
+		return
+	}
+	if err == nil {
+		err = w.rt.Err()
+	}
+	// Degraded epoch: sticky runtime error (recovery abandoned, modeled
+	// OOM, all processors lost). Results are suspect — discard them,
+	// replace the runtime, and retry the whole group once on the fresh
+	// one.
+	w.replaceRuntime()
+	if group[0].retried {
+		w.finish(group, fmt.Errorf("runtime degraded twice serving batch: %v", err))
+		return
+	}
+	w.srv.metrics.retries.Add(1)
+	for _, j := range group {
+		j.retried = true
+	}
+	w.runGroup(k, group)
+}
+
+// runGroupOnce binds the matrix and runs every job of the group inside
+// one fused launch-stream epoch: SpMV jobs issue their launches first
+// and fence once (independent outputs overlap in the stream), then
+// solver/eigen jobs run back to back on the still-warm caches.
+func (w *worker) runGroupOnce(k bindKey, group []*job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serving %s/%s: %v", group[0].def.name, k.format, r)
+		}
+	}()
+	w.attachSink(group[0].class)
+	b, hit, berr := w.binding(k, group[0].def)
+	if berr != nil {
+		return berr
+	}
+	for _, j := range group {
+		j.cacheHit = hit
+		j.batched = len(group)
+		j.workerID = w.id
+	}
+	if hit {
+		w.srv.metrics.bindHits.Add(1)
+	} else {
+		w.srv.metrics.bindMisses.Add(1)
+	}
+
+	var collect []func()
+	sharedYFree := true
+	for _, j := range group {
+		switch j.class {
+		case classSpMV:
+			c, err := w.issueSpMV(b, j, sharedYFree)
+			if err != nil {
+				return err
+			}
+			sharedYFree = false
+			collect = append(collect, c)
+		}
+	}
+	if len(collect) > 0 {
+		w.rt.Fence() // one epoch boundary for every coalesced SpMV
+		for _, c := range collect {
+			c()
+		}
+	}
+	for _, j := range group {
+		switch j.class {
+		case classSolve:
+			if err := w.runSolve(b, j); err != nil {
+				return err
+			}
+		case classEigen:
+			if err := w.runEigen(b, j); err != nil {
+				return err
+			}
+		}
+	}
+	w.rt.Fence()
+	return w.rt.Err()
+}
+
+// attachSink points the runtime's profiler at the request class's sink.
+func (w *worker) attachSink(c reqClass) {
+	name := c.String()
+	if w.curSink == name {
+		return
+	}
+	w.rt.EnableProfiling(w.srv.sinks[name])
+	w.curSink = name
+}
+
+// binding returns the warm binding for k, materializing and caching it
+// on a miss (with LRU eviction).
+func (w *worker) binding(k bindKey, def *matrixDef) (*binding, bool, error) {
+	w.lruClock++
+	if b, ok := w.bindings[k]; ok {
+		b.used = w.lruClock
+		return b, true, nil
+	}
+	mat, err := def.bind(w.rt, k.format)
+	if err != nil {
+		return nil, false, clientError{err}
+	}
+	rows, cols := mat.Shape()
+	b := &binding{
+		def: def, mat: mat,
+		x:    cunumeric.Zeros(w.rt, cols),
+		y:    cunumeric.Zeros(w.rt, rows),
+		used: w.lruClock,
+	}
+	w.bindings[k] = b
+	for len(w.bindings) > w.srv.cfg.CacheSize {
+		w.evictLRU()
+	}
+	return b, false, nil
+}
+
+func (w *worker) evictLRU() {
+	var victim bindKey
+	var oldest int64 = 1<<63 - 1
+	for k, b := range w.bindings {
+		if b.used < oldest {
+			oldest, victim = b.used, k
+		}
+	}
+	w.dropBinding(victim)
+	w.srv.metrics.evictions.Add(1)
+}
+
+// dropBinding destroys one binding and purges every runtime cache entry
+// derived from its regions.
+func (w *worker) dropBinding(k bindKey) {
+	b, ok := w.bindings[k]
+	if !ok {
+		return
+	}
+	delete(w.bindings, k)
+	w.rt.Fence()
+	for _, r := range b.mat.Pack() {
+		w.rt.InvalidateRegionCaches(r)
+	}
+	b.mat.Destroy()
+	b.x.Destroy()
+	b.y.Destroy()
+}
+
+func (w *worker) dropAllBindings() {
+	for k := range w.bindings {
+		w.dropBinding(k)
+	}
+}
+
+// dropStaleBindings evicts bindings whose matrix has been re-uploaded:
+// the store's definition for the name no longer carries the binding's
+// fingerprint.
+func (w *worker) dropStaleBindings() {
+	rev := w.srv.store.rev()
+	if rev == w.storeRev {
+		return
+	}
+	w.storeRev = rev
+	for k, b := range w.bindings {
+		cur, err := w.srv.store.get(b.def.name)
+		if err != nil || cur.fp != b.def.fp {
+			w.dropBinding(k)
+			w.srv.metrics.invalidations.Add(1)
+		}
+	}
+}
+
+// replaceRuntime drains and discards the current runtime (checkpointed
+// state included) and builds a fresh one. Bindings die with the runtime
+// they were bound on; sticky routing keeps the matrix on this worker,
+// so the next request rebinds on the replacement.
+func (w *worker) replaceRuntime() {
+	old := w.rt
+	// Destroy bindings only if the runtime can still execute; on a
+	// sticky error the regions are unrecoverable anyway.
+	if old.Err() == nil {
+		w.dropAllBindings()
+	} else {
+		w.bindings = map[bindKey]*binding{}
+	}
+	old.Shutdown()
+	w.rt = w.srv.newPoolRuntime()
+	w.rtPub.Store(w.rt)
+	w.curSink = ""
+	w.srv.metrics.replacements.Add(1)
+}
+
+func (w *worker) finish(group []*job, err error) {
+	for _, j := range group {
+		if err != nil {
+			j.err = err
+		}
+		close(j.done)
+	}
+}
+
+// issueSpMV issues y = A @ x and returns the collection step to run
+// after the epoch fence. Coalesced SpMVs in one epoch write distinct
+// outputs so their launches overlap in the stream; the binding's
+// persistent vectors (whose partitions are already cached from earlier
+// requests) go to the first job, later jobs allocate their own.
+func (w *worker) issueSpMV(b *binding, j *job, useShared bool) (func(), error) {
+	req := j.req.(*SpMVRequest)
+	rows, cols := b.mat.Shape()
+	var x *cunumeric.Array
+	ownedX := false
+	if len(req.X) > 0 {
+		if int64(len(req.X)) != cols {
+			return nil, clientError{fmt.Errorf("x has %d entries, matrix has %d columns", len(req.X), cols)}
+		}
+		x = cunumeric.FromSlice(w.rt, req.X)
+		ownedX = true
+	} else if useShared {
+		x = b.x
+		x.Fill(1)
+	} else {
+		x = cunumeric.Full(w.rt, cols, 1)
+		ownedX = true
+	}
+	y := b.y
+	ownedY := false
+	if !useShared {
+		y = cunumeric.Zeros(w.rt, rows)
+		ownedY = true
+	}
+	b.mat.SpMVInto(y, x)
+	return func() {
+		j.resp = &SpMVResponse{Y: y.ToSlice()}
+		if ownedX {
+			x.Destroy()
+		}
+		if ownedY {
+			y.Destroy()
+		}
+	}, nil
+}
+
+func (w *worker) runSolve(b *binding, j *job) error {
+	req := j.req.(*SolveRequest)
+	rt := w.rt
+	rows, _ := b.mat.Shape()
+	var rhs *cunumeric.Array
+	if len(req.B) > 0 {
+		if int64(len(req.B)) != rows {
+			return clientError{fmt.Errorf("b has %d entries, matrix has %d rows", len(req.B), rows)}
+		}
+		rhs = cunumeric.FromSlice(rt, req.B)
+	} else {
+		rhs = cunumeric.Full(rt, rows, 1)
+	}
+	defer rhs.Destroy()
+
+	var res *solvers.Result
+	switch req.Solver {
+	case "cg":
+		res = solvers.CG(b.mat, rhs, req.MaxIter, req.Tol)
+	case "cgs":
+		res = solvers.CGS(b.mat, rhs, req.MaxIter, req.Tol)
+	case "bicg":
+		res = solvers.BiCG(b.mat, rhs, req.MaxIter, req.Tol)
+	case "bicgstab":
+		res = solvers.BiCGSTAB(b.mat, rhs, req.MaxIter, req.Tol)
+	case "gmres":
+		res = solvers.GMRES(b.mat, rhs, req.Restart, req.MaxIter, req.Tol)
+	}
+	if rt.Err() != nil {
+		return rt.Err()
+	}
+	resp := &SolveResponse{
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}
+	if res.X != nil {
+		resp.X = res.X.ToSlice()
+		res.X.Destroy()
+	}
+	if n := len(res.Residuals); n > 0 {
+		resp.Residual = res.Residuals[n-1]
+	}
+	j.resp = resp
+	return nil
+}
+
+func (w *worker) runEigen(b *binding, j *job) error {
+	req := j.req.(*EigenRequest)
+	lambda, vec := solvers.PowerIteration(b.mat, req.Iters, req.Seed)
+	if w.rt.Err() != nil {
+		return w.rt.Err()
+	}
+	resp := &EigenResponse{Eigenvalue: lambda}
+	if vec != nil {
+		resp.Vector = vec.ToSlice()
+		vec.Destroy()
+	}
+	j.resp = resp
+	return nil
+}

@@ -1,0 +1,49 @@
+#!/bin/sh
+# check_docs.sh — the `make docs` gate.
+#
+# Fails if any package in the module lacks a package-level doc comment
+# (a // comment block immediately above the package clause in at least
+# one non-test file). ARCHITECTURE.md's package inventory is checked by
+# check_links.sh; this script keeps godoc itself from regressing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for pkg in $(go list ./...); do
+    dir=${pkg#repro}
+    dir=.${dir}
+    documented=no
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        if awk 'prev ~ /^\/\// && $0 ~ /^package [a-z]/ {found=1; exit} {prev=$0} END {exit !found}' "$f"; then
+            documented=yes
+            break
+        fi
+    done
+    if [ "$documented" = no ]; then
+        echo "undocumented package: $pkg (no package comment in any file)"
+        fail=1
+    fi
+done
+
+# Every internal and cmd package must appear in ARCHITECTURE.md's
+# inventory and in the doc.go package tree.
+for pkg in $(go list ./internal/... ./cmd/...); do
+    short=${pkg#repro/}
+    if ! grep -q "$short" ARCHITECTURE.md; then
+        echo "package $short is missing from ARCHITECTURE.md"
+        fail=1
+    fi
+    if ! grep -q "$short" doc.go; then
+        echo "package $short is missing from the doc.go package tree"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check failed"
+    exit 1
+fi
+echo "docs check ok"

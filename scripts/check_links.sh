@@ -1,0 +1,35 @@
+#!/bin/sh
+# check_links.sh — markdown link check.
+#
+# Verifies that every relative markdown link target in the top-level
+# documents exists on disk. External (http/https) links and pure
+# anchors are skipped: the docs must stay self-consistent offline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+docs="README.md DESIGN.md ARCHITECTURE.md EXPERIMENTS.md ROADMAP.md"
+fail=0
+for doc in $docs; do
+    [ -e "$doc" ] || { echo "missing document: $doc"; fail=1; continue; }
+    # Extract (target) parts of [text](target) links, one per line.
+    targets=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' || true)
+    for t in $targets; do
+        case "$t" in
+        http://*|https://*|mailto:*) continue ;; # external
+        \#*) continue ;;                         # in-page anchor
+        esac
+        path=${t%%#*} # strip anchor from file.md#section
+        [ -n "$path" ] || continue
+        if [ ! -e "$path" ]; then
+            echo "$doc: broken link -> $t"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed"
+    exit 1
+fi
+echo "link check ok"
