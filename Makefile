@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-fusion bench-serve chaos prof serve docs links
+.PHONY: check fmt vet build test race bench-fusion bench-serve bench-tune bench-json chaos prof serve tune docs links
 
 # check is the full pre-merge gate: formatting, static analysis, build,
 # the race-enabled test suite (including the legate-serve e2e suite),
-# the fault-injection suite, one pass over the fusion and serve
-# wall-clock benchmarks (compile + run, not a timing study — use
-# `go test -bench` directly with a real -benchtime for numbers), the
-# legate-prof artifact smoke test, and the documentation gates.
-check: fmt vet build race chaos bench-fusion bench-serve prof docs links
+# the fault-injection suite, the feedback-directed mapping suite, one
+# pass over the fusion, serve, and tune wall-clock benchmarks (compile +
+# run, not a timing study — use `go test -bench` directly with a real
+# -benchtime for numbers), the legate-prof artifact smoke test, and the
+# documentation gates.
+check: fmt vet build race chaos tune bench-fusion bench-serve bench-tune prof docs links
 
 # fmt fails (and lists offenders) if any file is not gofmt-clean.
 fmt:
@@ -41,11 +42,29 @@ chaos:
 serve:
 	$(GO) test -race -count=1 ./internal/serve/
 
+# tune runs the feedback-directed mapping suite under the race detector
+# (tuned results bit-identical to the static mapper, including under
+# fault injection and checkpoint/replay; deterministic variant picks;
+# scoped plan-cache isolation) plus a tuned-CG ablation smoke run.
+tune:
+	$(GO) test -race -count=1 ./internal/tune/
+	$(GO) run -race ./cmd/legate-bench -exp tune -tune-presets cg -runs 1 >/dev/null
+
 bench-fusion:
 	$(GO) test -run=NONE -bench=BenchmarkFusion -benchtime=1x ./...
 
 bench-serve:
 	$(GO) test -run=NONE -bench=BenchmarkServe -benchtime=1x ./internal/serve/
+
+bench-tune:
+	$(GO) test -run=NONE -bench=BenchmarkTune -benchtime=1x .
+
+# bench-json regenerates BENCH_pr6.json: the tuned-vs-static throughput
+# of every preset as machine-readable records stamped with the current
+# commit.
+bench-json:
+	$(GO) run ./cmd/legate-bench -exp tune -json BENCH_pr6.json \
+		-commit $$(git rev-parse --short HEAD)
 
 # docs fails if any package lacks a package-level doc comment, or if
 # ARCHITECTURE.md / doc.go miss a package.

@@ -33,6 +33,7 @@ func main() {
 		faults      = flag.String("faults", "", "fault spec, e.g. 'point@120:1,proc@2:80ms,rate:0.001' (see internal/fault)")
 		ckptEvery   = flag.Int("checkpoint-every", 64, "launches per checkpoint epoch (-1 disables recovery)")
 		profCap     = flag.Int("prof-capacity", 4096, "profiling sink capacity per request class")
+		tuneOn      = flag.Bool("tune", true, "feedback-directed mapping: per-binding autotuners (GET /tune reports decisions)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		Faults:          *faults,
 		CheckpointEvery: *ckptEvery,
 		ProfCapacity:    *profCap,
+		NoTune:          !*tuneOn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "legate-serve:", err)

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/solvers"
+	"repro/internal/tune"
+)
+
+// The tune ablation measures what the feedback-directed mapper buys in
+// *wall-clock* terms: variant selection moves real kernel time (the
+// simulated clock is identical across variants by construction), while
+// the fusion-window and distribution decisions also move the simulated
+// schedule. Since the whole point of the tuner is host-side speed, the
+// ablation times the steady-state iteration phase of each preset on the
+// wall clock, with assembly and warmup excluded.
+
+// tuneProcs is the processor count of the tune-ablation runtimes.
+const tuneProcs = 4
+
+// tuneHarness is one preset reduced to a steady-state step function.
+type tuneHarness struct {
+	step  func()
+	iters int // steps per measured run
+}
+
+// tuneHarnessFor builds preset's workload on rt and returns its step.
+func tuneHarnessFor(rt *legion.Runtime, preset string, opt Options) (*tuneHarness, error) {
+	switch preset {
+	case "cg":
+		nx := gridFor(cgUnits(opt) * tuneProcs)
+		a := core.Poisson2D(rt, nx)
+		b := cunumeric.Full(rt, nx*nx, 1)
+		return &tuneHarness{
+			step: func() {
+				res := solvers.CG(a, b, cgIters, 0)
+				res.X.Destroy()
+			},
+			iters: maxI(opt.Iters/2, 2),
+		}, nil
+	case "gmg":
+		units := gmgUnits(opt) * tuneProcs
+		if units > gmgMaxTotalUnits {
+			units = gmgMaxTotalUnits
+		}
+		nx := gridFor(units)
+		if nx%2 == 1 {
+			nx++
+		}
+		a := core.Poisson2D(rt, nx)
+		b := cunumeric.Full(rt, nx*nx, 1)
+		mg := solvers.NewMultigrid(a, nx)
+		return &tuneHarness{
+			step: func() {
+				res := mg.PCG(b, 1, 0)
+				res.X.Destroy()
+			},
+			iters: gmgIters,
+		}, nil
+	case "quantum":
+		units := opt.UnitsPerProc * tuneProcs
+		if units > quantumMaxTotalUnits {
+			units = quantumMaxTotalUnits
+		}
+		q := newQuantum(rt, atomsFor(units))
+		return &tuneHarness{
+			step:  func() { q.sys.Evolve(q.rk, 1e-3, 1) },
+			iters: quantumSteps,
+		}, nil
+	case "pagerank":
+		pr := buildPagerank(rt, opt.UnitsPerProc*tuneProcs, opt.seed())
+		return &tuneHarness{
+			step:  pr.step,
+			iters: pagerankIters,
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: no tune harness for preset %q", preset)
+	}
+}
+
+// AblationTune compares one preset's steady-state wall-clock throughput
+// with the autotuner attached against the static mapper. The tuned arm
+// gets one warmup run beyond the static arm's so the variant model and
+// mapping decisions settle before timing starts (the tuner is a
+// steady-state mechanism; a cold binding pays exploration). Auto-attach
+// is suspended for the duration so the static arm stays static even
+// under `legate-bench -tune`.
+func AblationTune(opt Options, preset string) (AblationResult, error) {
+	prev := tune.AutoTune()
+	tune.SetAutoTune(false)
+	defer tune.SetAutoTune(prev)
+
+	var runErr error
+	run := func(tuned bool) float64 {
+		iters := 1
+		d := protocol(opt.Runs, func() time.Duration {
+			rt := legateRuntime(machine.CPU, tuneProcs, scaled(machine.LegateCost(), opt.OverheadScale))
+			defer rt.Shutdown()
+			if tuned {
+				tune.Attach(rt)
+			}
+			h, err := tuneHarnessFor(rt, preset, opt)
+			if err != nil {
+				runErr = err
+				return time.Second
+			}
+			iters = h.iters
+			// Warmup: allocations settle, partitions fill the caches, and
+			// with the tuner on, the arms accumulate observations.
+			h.step()
+			h.step()
+			rt.Fence()
+			start := time.Now()
+			for i := 0; i < h.iters; i++ {
+				h.step()
+			}
+			rt.Fence()
+			if err := rt.Err(); err != nil {
+				runErr = err
+			}
+			return time.Since(start)
+		})
+		return throughput(iters, d)
+	}
+	res := AblationResult{
+		Name:    fmt.Sprintf("feedback-directed mapping on %s", preset),
+		Metric:  "steady-state steps/sec of wall-clock (higher is better)",
+		With:    run(true),
+		Without: run(false),
+	}
+	return res, runErr
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

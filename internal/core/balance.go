@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/geometry"
+	"repro/internal/legion"
+)
+
+// balanceKey caches one nnz-balanced row partition per (colors, pos
+// version): mutations that rebuild pos invalidate the cache the same way
+// rowImageKey does for dense-row images.
+type balanceKey struct {
+	colors  int
+	version int64
+}
+
+// balancedRowPartition returns a contiguous row partition of [0, rows)
+// into colors pieces holding approximately equal stored-entry counts —
+// the distribution the autotuner switches a skewed SpMV to. Contiguity
+// matters: each row stays owned by exactly one point, so the kernel's
+// per-row sequential accumulation (and thus the floating-point result)
+// is unchanged; only which processor computes which rows moves.
+func (a *CSR) balancedRowPartition(colors int) *legion.Partition {
+	a.imgMu.Lock()
+	defer a.imgMu.Unlock()
+	key := balanceKey{colors: colors, version: a.pos.Version()}
+	if p, ok := a.balParts[key]; ok {
+		return p
+	}
+	a.rt.Fence()
+	pos := a.pos.Rects()
+	var total int64
+	for _, r := range pos {
+		total += r.Size()
+	}
+	rects := make([]geometry.Rect, colors)
+	row, used := int64(0), int64(0)
+	for c := 0; c < colors; c++ {
+		if row >= a.rows {
+			rects[c] = geometry.EmptyRect
+			continue
+		}
+		if c == colors-1 {
+			rects[c] = geometry.NewRect(row, a.rows-1)
+			row = a.rows
+			continue
+		}
+		// Greedy cut: give this color rows until it holds its ceil share
+		// of the remaining entries (always at least one row).
+		share := (total - used + int64(colors-c) - 1) / int64(colors-c)
+		start := row
+		cum := int64(0)
+		for row < a.rows && (cum < share || row == start) {
+			cum += pos[row].Size()
+			row++
+		}
+		used += cum
+		rects[c] = geometry.NewRect(start, row-1)
+	}
+	p := a.rt.PartitionByRects(a.pos, rects)
+	if a.balParts == nil {
+		a.balParts = map[balanceKey]*legion.Partition{}
+	}
+	a.balParts[key] = p
+	return p
+}
+
+// constrainBalancedCSR is the CSR SpMV constraint set with the static
+// equal-rows block partition replaced by the nnz-balanced one: pin pos
+// to the balanced rects, then derive everything else exactly as CSRSpec
+// does — align(y, pos), image(pos, {crd, vals}), image(crd, x). The
+// output's partition is marked mapping-only: the rebalance decides
+// placement but must not become y's key partition, or downstream
+// reductions over y would regroup their partials and lose bit-identity
+// with the static mapper.
+func constrainBalancedCSR(t *constraint.Task, a *CSR, vy, vx constraint.Var, pack []constraint.Var) {
+	t.UsePartition(pack[0], a.balancedRowPartition(a.rt.LaunchDomain()))
+	t.Align(vy, pack[0])
+	t.MappingOnly(vy)
+	t.Image(pack[0], pack[1], pack[2])
+	t.Image(pack[1], vx)
+}

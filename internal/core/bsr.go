@@ -163,7 +163,7 @@ func (a *BSR) Scale(alpha float64) { cunumeric.FromRegion(a.vals).Scale(alpha) }
 // The conversion is performed once per call and surfaces in the
 // runtime's profile under the conversion tasks rather than silently.
 func (a *BSR) SpMM(x *cunumeric.Matrix) *cunumeric.Matrix {
-	if _, ok := distal.Standard.Lookup("spmm", distal.BSR, kernelTarget(a.rt)); ok {
+	if _, ok := planKernel(a.rt, "spmm", distal.BSR); ok {
 		panic("core: BSR SpMM variant appeared; remove the fallback")
 	}
 	csr := a.ToCSR()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/cunumeric"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/legion"
 	"repro/internal/machine"
+	"repro/internal/tune"
 )
 
 // kernelTarget maps the runtime's processor kind to the DISTAL variant
@@ -20,6 +22,27 @@ func kernelTarget(rt *legion.Runtime) distal.Target {
 		return distal.GPUThread
 	}
 	return distal.CPUThread
+}
+
+// planKernel resolves (op, format, target) through rt's autotuner when
+// one is attached — measured-rate variant choice plus consumer-scoped
+// plan-cache accounting — and through the shared registry's static
+// order otherwise.
+func planKernel(rt *legion.Runtime, op string, format distal.Format) (*distal.Kernel, bool) {
+	target := kernelTarget(rt)
+	if tn := tune.For(rt); tn != nil {
+		return tn.PickKernel(op, format, target)
+	}
+	return distal.Standard.Lookup(op, format, target)
+}
+
+// mustPlanKernel is planKernel that panics on a missing variant.
+func mustPlanKernel(rt *legion.Runtime, op string, format distal.Format) *distal.Kernel {
+	k, ok := planKernel(rt, op, format)
+	if !ok {
+		panic(fmt.Sprintf("core: no kernel variant for %s/%s/%v", op, format, kernelTarget(rt)))
+	}
+	return k
 }
 
 // spmvLaunch is the single format-generic launch planner every SpMV
@@ -35,7 +58,9 @@ func spmvLaunch(a SparseMatrix, y, x *cunumeric.Array) {
 	}
 	spec := a.Spec()
 	rt := a.Runtime()
-	k, ok := distal.Standard.Lookup("spmv", spec.Distal, kernelTarget(rt))
+	tn := tune.For(rt)
+	target := kernelTarget(rt)
+	k, ok := planKernel(rt, "spmv", spec.Distal)
 	if !ok {
 		// No compiled variant for this (format, target): fall back
 		// through a CSR conversion, paying the format-conversion cost
@@ -59,8 +84,19 @@ func spmvLaunch(a SparseMatrix, y, x *cunumeric.Array) {
 		if spec.scatter {
 			s.args.Accum = func(idx int64, v float64) { tc.ReduceAdd(0, idx, v) }
 		}
+		var t0 time.Time
+		if tn != nil {
+			t0 = time.Now()
+		}
 		k.Exec(&s.args)
-		tc.SetWorkElems(k.WorkEstimate(&s.args))
+		work := k.WorkEstimate(&s.args)
+		if tn != nil {
+			// Real wall-clock feeds the variant-rate model only; the
+			// simulated timeline is untouched (variants share the same
+			// work estimate and op class).
+			tn.Observe("spmv", spec.Distal, target, k.Variant, work, time.Since(t0))
+		}
+		tc.SetWorkElems(work)
 		s.release()
 	})
 	var vy constraint.Var
@@ -75,9 +111,21 @@ func spmvLaunch(a SparseMatrix, y, x *cunumeric.Array) {
 		pack[i] = task.AddInput(r)
 	}
 	vx := task.AddInput(x.Region())
-	spec.constrain(task, a, vy, vx, pack, y, x)
+	balanced := false
+	if tn != nil && spec.Dist == DistAlignPos {
+		if c, isCSR := a.(*CSR); isCSR && tn.BalanceRows(spec.TaskName) {
+			constrainBalancedCSR(task, c, vy, vx, pack)
+			balanced = true
+		}
+	}
+	if !balanced {
+		spec.constrain(task, a, vy, vx, pack, y, x)
+	}
 	task.SetOpClass(machine.SparseIter)
 	task.Execute()
+	if tn != nil {
+		tn.MaybeRetune(rt)
+	}
 }
 
 // SpMVInto computes y = A @ x through the generic planner with CSR's
@@ -228,7 +276,7 @@ func (a *CSR) SpMMInto(y, x *cunumeric.Matrix) {
 	}
 	rt := a.rt
 	colors := rt.LaunchDomain()
-	k := distal.Standard.MustLookup("spmm", distal.CSR, kernelTarget(rt))
+	k := mustPlanKernel(rt, "spmm", distal.CSR)
 	kk := x.Cols()
 	task := constraint.NewTask(rt, "sparse.spmm", func(tc *legion.TaskContext) {
 		bounds := tc.Bounds(1) // pos subspace = row block
@@ -279,7 +327,7 @@ func (a *CSR) SDDMM(b, c *cunumeric.Matrix) *CSR {
 	colors := rt.LaunchDomain()
 	out := &CSR{rt: rt, rows: a.rows, cols: a.cols, pos: a.pos, crd: a.crd,
 		vals: rt.CreateRegion("R.vals", a.NNZ(), legion.Float64)}
-	k := distal.Standard.MustLookup("sddmm", distal.CSR, kernelTarget(rt))
+	k := mustPlanKernel(rt, "sddmm", distal.CSR)
 	kk := b.Cols()
 	task := constraint.NewTask(rt, "sparse.sddmm", func(tc *legion.TaskContext) {
 		bounds := tc.Bounds(1)
@@ -318,7 +366,9 @@ func (a *CSR) SDDMM(b, c *cunumeric.Matrix) *CSR {
 // DISTAL row-reduction kernel.
 func (a *CSR) SumAxis1() *cunumeric.Array {
 	out := cunumeric.Zeros(a.rt, a.rows)
-	k := distal.Standard.MustLookup("row_sum", distal.CSR, kernelTarget(a.rt))
+	tn := tune.For(a.rt)
+	target := kernelTarget(a.rt)
+	k := mustPlanKernel(a.rt, "row_sum", distal.CSR)
 	task := constraint.NewTask(a.rt, "sparse.row_sum", func(tc *legion.TaskContext) {
 		bounds := tc.Bounds(0)
 		if bounds.Empty() {
@@ -328,8 +378,16 @@ func (a *CSR) SumAxis1() *cunumeric.Array {
 		s.y.Vals = tc.Float64(0)
 		s.A.Pos, s.A.Vals = tc.Rects(1), tc.Float64(2)
 		s.args.Lo, s.args.Hi = bounds.Lo, bounds.Hi
+		var t0 time.Time
+		if tn != nil {
+			t0 = time.Now()
+		}
 		k.Exec(&s.args)
-		tc.SetWorkElems(k.WorkEstimate(&s.args))
+		work := k.WorkEstimate(&s.args)
+		if tn != nil {
+			tn.Observe("row_sum", distal.CSR, target, k.Variant, work, time.Since(t0))
+		}
+		tc.SetWorkElems(work)
 		s.release()
 	})
 	vy := task.AddOutput(out.Region())
@@ -354,10 +412,9 @@ func (a *CSR) SpMVRowSumInto(y, s, x *cunumeric.Array) {
 		panic(fmt.Sprintf("core: SpMVRowSum shape mismatch: %v with x[%d] -> y[%d], s[%d]",
 			a, x.Len(), y.Len(), s.Len()))
 	}
-	target := kernelTarget(a.rt)
 	fused := distal.ComposeKernels("spmv+row_sum",
-		distal.Stage{K: distal.Standard.MustLookup("spmv", distal.CSR, target)},
-		distal.Stage{K: distal.Standard.MustLookup("row_sum", distal.CSR, target),
+		distal.Stage{K: mustPlanKernel(a.rt, "spmv", distal.CSR)},
+		distal.Stage{K: mustPlanKernel(a.rt, "row_sum", distal.CSR),
 			Bind: func(ar *distal.Args) *distal.Args {
 				// row_sum writes its "y" — rebind it to the s operand.
 				return &distal.Args{Ops: map[string]*distal.Operand{

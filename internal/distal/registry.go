@@ -7,10 +7,12 @@ import (
 	"sync/atomic"
 )
 
-// OpKey identifies one kernel variant: the logical operation, the sparse
-// operand's format, and the processor variety. Legate Sparse dispatches
-// dynamically across this statically generated variant matrix (§5.1):
-// the same SpMV has distinct entries for (CSR, CPU), (CSR, GPU), etc.
+// OpKey identifies one kernel dispatch slot: the logical operation, the
+// sparse operand's format, and the processor variety. Legate Sparse
+// dispatches dynamically across this statically generated variant matrix
+// (§5.1): the same SpMV has distinct entries for (CSR, CPU), (CSR, GPU),
+// etc. One key may hold several interchangeable variants (same semantics,
+// different loop shape); the autotuner picks among them by measured rate.
 type OpKey struct {
 	Op     string
 	Format string
@@ -26,15 +28,25 @@ func (k OpKey) String() string {
 // are counted (lock-free), and LookupOrCompile turns a miss into an
 // on-demand compilation whose result is registered for every later
 // request — SpDISTAL's "compile once, dispatch forever" behavior.
+//
+// Each dispatch slot holds an ordered variant list. Register replaces
+// the whole slot (the static default is always variant 0, so callers
+// that never consult the tuner see exactly the pre-variant behavior);
+// RegisterVariant appends an alternative the tuner may select.
+//
+// The embedded counters describe this registry as a whole. A process
+// that shares one registry across independent consumers (legate-serve
+// workers) should give each consumer its own Scoped view so per-consumer
+// hit rates stay accurate.
 type Registry struct {
 	mu      sync.RWMutex
-	kernels map[OpKey]*Kernel
+	kernels map[OpKey][]*Kernel
 
 	hits, misses, compiles atomic.Int64
 }
 
-// RegistryStats is a snapshot of a registry's plan-cache counters,
-// reported by legate-serve's /metrics endpoint.
+// RegistryStats is a snapshot of a registry's (or a Scoped view's)
+// plan-cache counters, reported by legate-serve's /metrics endpoint.
 type RegistryStats struct {
 	Hits     int64 `json:"hits"`     // Lookup found a compiled kernel
 	Misses   int64 `json:"misses"`   // Lookup found nothing (caller fell back or compiled)
@@ -44,43 +56,87 @@ type RegistryStats struct {
 
 // Stats returns a snapshot of the registry's plan-cache counters.
 func (r *Registry) Stats() RegistryStats {
-	r.mu.RLock()
-	n := len(r.kernels)
-	r.mu.RUnlock()
 	return RegistryStats{
 		Hits:     r.hits.Load(),
 		Misses:   r.misses.Load(),
 		Compiles: r.compiles.Load(),
-		Variants: n,
+		Variants: r.numKernels(),
 	}
+}
+
+func (r *Registry) numKernels() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, vs := range r.kernels {
+		n += len(vs)
+	}
+	return n
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{kernels: map[OpKey]*Kernel{}}
+	return &Registry{kernels: map[OpKey][]*Kernel{}}
 }
 
-// Register adds a kernel variant under (op, format, kernel.Target).
+// Register installs k as the sole (default) kernel under
+// (op, format, kernel.Target), replacing any existing variants.
 func (r *Registry) Register(op string, format Format, k *Kernel) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.kernels[OpKey{Op: op, Format: format.String(), Target: k.Target}] = k
+	r.kernels[OpKey{Op: op, Format: format.String(), Target: k.Target}] = []*Kernel{k}
 }
 
-// Lookup finds the kernel variant for (op, format, target). The second
-// result reports whether a variant exists; callers fall back to a slower
-// path (or report the format conversion they must perform) when it does
-// not — the cost the paper's third composition layer is about.
-func (r *Registry) Lookup(op string, format Format, target Target) (*Kernel, bool) {
-	r.mu.RLock()
-	k, ok := r.kernels[OpKey{Op: op, Format: format.String(), Target: target}]
-	r.mu.RUnlock()
-	if ok {
-		r.hits.Add(1)
-	} else {
-		r.misses.Add(1)
+// RegisterVariant appends an alternative kernel under the same dispatch
+// slot. Variant 0 (installed by Register) remains the static default; a
+// variant with the same Variant tag replaces its predecessor in place.
+func (r *Registry) RegisterVariant(op string, format Format, k *Kernel) {
+	key := OpKey{Op: op, Format: format.String(), Target: k.Target}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, prev := range r.kernels[key] {
+		if prev.Variant == k.Variant {
+			r.kernels[key][i] = k
+			return
+		}
 	}
-	return k, ok
+	r.kernels[key] = append(r.kernels[key], k)
+}
+
+// peek returns the variant list without touching the counters. The
+// returned slice must not be mutated.
+func (r *Registry) peek(key OpKey) []*Kernel {
+	r.mu.RLock()
+	vs := r.kernels[key]
+	r.mu.RUnlock()
+	return vs
+}
+
+// Lookup finds the default kernel variant for (op, format, target). The
+// second result reports whether a variant exists; callers fall back to a
+// slower path (or report the format conversion they must perform) when
+// it does not — the cost the paper's third composition layer is about.
+func (r *Registry) Lookup(op string, format Format, target Target) (*Kernel, bool) {
+	vs := r.peek(OpKey{Op: op, Format: format.String(), Target: target})
+	if len(vs) == 0 {
+		r.misses.Add(1)
+		return nil, false
+	}
+	r.hits.Add(1)
+	return vs[0], true
+}
+
+// Variants returns every registered kernel for (op, format, target) in
+// registration order (the static default first). Like Lookup it counts
+// as one plan-cache access. The returned slice must not be mutated.
+func (r *Registry) Variants(op string, format Format, target Target) []*Kernel {
+	vs := r.peek(OpKey{Op: op, Format: format.String(), Target: target})
+	if len(vs) == 0 {
+		r.misses.Add(1)
+	} else {
+		r.hits.Add(1)
+	}
+	return vs
 }
 
 // LookupOrCompile returns the registered kernel for (op, format, target)
@@ -103,10 +159,10 @@ func (r *Registry) LookupOrCompile(op string, format Format, target Target, gen 
 	r.compiles.Add(1)
 	key := OpKey{Op: op, Format: format.String(), Target: target}
 	r.mu.Lock()
-	if prev, ok := r.kernels[key]; ok {
-		k = prev // another caller compiled first; keep one canonical plan
+	if prev, ok := r.kernels[key]; ok && len(prev) > 0 {
+		k = prev[0] // another caller compiled first; keep one canonical plan
 	} else {
-		r.kernels[key] = k
+		r.kernels[key] = []*Kernel{k}
 	}
 	r.mu.Unlock()
 	return k, nil
@@ -121,7 +177,7 @@ func (r *Registry) MustLookup(op string, format Format, target Target) *Kernel {
 	return k
 }
 
-// Keys returns all registered variant keys, sorted, for inventory
+// Keys returns all registered dispatch keys, sorted, for inventory
 // reporting and tests.
 func (r *Registry) Keys() []string {
 	r.mu.RLock()
@@ -132,6 +188,55 @@ func (r *Registry) Keys() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Scoped returns a per-consumer counter view over the registry. Lookups
+// through the view consult the shared kernel map but count hits and
+// misses on the view's own counters, leaving the parent's untouched —
+// so concurrent consumers (one per legate-serve worker) each report an
+// accurate hit rate instead of reading one process-global tally.
+func (r *Registry) Scoped() *Scoped {
+	return &Scoped{parent: r}
+}
+
+// Scoped is a consumer-local counter view over a shared Registry.
+// All methods are safe for concurrent use.
+type Scoped struct {
+	parent *Registry
+
+	hits, misses atomic.Int64
+}
+
+// Lookup is Registry.Lookup counted against this view only.
+func (s *Scoped) Lookup(op string, format Format, target Target) (*Kernel, bool) {
+	vs := s.Variants(op, format, target)
+	if len(vs) == 0 {
+		return nil, false
+	}
+	return vs[0], true
+}
+
+// Variants is Registry.Variants counted against this view only.
+func (s *Scoped) Variants(op string, format Format, target Target) []*Kernel {
+	vs := s.parent.peek(OpKey{Op: op, Format: format.String(), Target: target})
+	if len(vs) == 0 {
+		s.misses.Add(1)
+	} else {
+		s.hits.Add(1)
+	}
+	return vs
+}
+
+// Stats snapshots the view's counters. Variants reports the shared
+// registry's kernel count (plans are shared; only the traffic is
+// per-consumer), and Compiles is always 0: on-demand compilation goes
+// through the parent registry directly.
+func (s *Scoped) Stats() RegistryStats {
+	return RegistryStats{
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Variants: s.parent.numKernels(),
+	}
 }
 
 // Standard is the global registry populated at package init with the
@@ -147,6 +252,9 @@ func init() {
 // by the sparse library: for each operation, one variant per processor
 // variety, with the schedule of Figure 6 (divide the rows across
 // processors, distribute, parallelize the local tile on the target).
+// Row-iteration kernels additionally get a hoisted variant (per-row
+// operand subslices lifted out of the inner loop) for the autotuner to
+// weigh against the default by measured rate.
 func GenerateStandardKernels(reg *Registry) {
 	i, j, k := IndexVar("i"), IndexVar("j"), IndexVar("k")
 	io, ii := IndexVar("io"), IndexVar("ii")
@@ -159,6 +267,7 @@ func GenerateStandardKernels(reg *Registry) {
 	}
 	for _, target := range []Target{CPUThread, GPUThread} {
 		sched := baseSched(target)
+		hoisted := baseSched(target).Hoist(ii)
 
 		reg.Register("spmv", CSR, MustCompile(Program{
 			Name:    "spmv_csr",
@@ -167,6 +276,14 @@ func GenerateStandardKernels(reg *Registry) {
 				"y": DenseVector, "A": CSR, "x": DenseVector,
 			},
 			Schedule: sched,
+		}))
+		reg.RegisterVariant("spmv", CSR, MustCompile(Program{
+			Name:    "spmv_csr_hoist",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j), A("x", j)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": CSR, "x": DenseVector,
+			},
+			Schedule: hoisted,
 		}))
 
 		// CSC SpMV: the matrix is stored compressed over columns, so the
@@ -240,6 +357,14 @@ func GenerateStandardKernels(reg *Registry) {
 				"y": DenseVector, "A": CSR,
 			},
 			Schedule: sched,
+		}))
+		reg.RegisterVariant("row_sum", CSR, MustCompile(Program{
+			Name:    "row_sum_csr_hoist",
+			Compute: Assign{LHS: A("y", i), RHS: []Access{A("A", i, j)}},
+			Formats: map[string]Format{
+				"y": DenseVector, "A": CSR,
+			},
+			Schedule: hoisted,
 		}))
 	}
 }

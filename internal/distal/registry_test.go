@@ -1,6 +1,10 @@
 package distal
 
-import "testing"
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
 
 // stdSchedule is the Figure 6 schedule the standard kernels use; tests
 // compile throwaway variants with it.
@@ -12,9 +16,10 @@ func stdSchedule(target Target) Schedule {
 func TestRegistryStatsCounting(t *testing.T) {
 	reg := NewRegistry()
 	GenerateStandardKernels(reg)
+	// 8 ops x 2 targets, plus hoisted spmv/row_sum CSR variants x 2 targets.
 	base := reg.Stats()
-	if base.Variants != 16 {
-		t.Fatalf("fresh standard registry has %d variants, want 16", base.Variants)
+	if base.Variants != 20 {
+		t.Fatalf("fresh standard registry has %d variants, want 20", base.Variants)
 	}
 
 	reg.Lookup("spmv", CSR, CPUThread)
@@ -90,5 +95,96 @@ func TestLookupOrCompileBadProgram(t *testing.T) {
 	}
 	if s := reg.Stats(); s.Variants != 0 || s.Compiles != 0 {
 		t.Errorf("failed compile mutated the registry: %+v", s)
+	}
+}
+
+// TestHoistedVariantsBitIdentical: the hoisted loop shapes registered as
+// tuner arms must produce exactly the bits of the base templates — the
+// autotuner's freedom to switch variants mid-solve depends on it. Rows
+// with no stored entries are included deliberately (the hoisted kernels
+// guard the subslice with Rect.Empty).
+func TestHoistedVariantsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const rows, cols = 40, 30
+	Aop, _ := randomCSR(rng, rows, cols, 0.15) // sparse enough for empty rows
+	x := denseVec(rng, cols)
+
+	for _, op := range []string{"spmv", "row_sum"} {
+		vs := Standard.Variants(op, CSR, CPUThread)
+		if len(vs) != 2 {
+			t.Fatalf("%s/CSR/CPU: %d variants, want base+hoist", op, len(vs))
+		}
+		if vs[0].Variant != "base" || vs[1].Variant != "hoist" {
+			t.Fatalf("%s variant order = %q,%q", op, vs[0].Variant, vs[1].Variant)
+		}
+		if vs[0].WorkEstimate == nil || vs[1].WorkEstimate == nil {
+			t.Fatalf("%s variants missing work estimators", op)
+		}
+		outs := make([][]float64, 2)
+		for i, k := range vs {
+			y := &Operand{Vals: make([]float64, rows)}
+			args := &Args{Ops: map[string]*Operand{"y": y, "A": Aop, "x": x}, Lo: 0, Hi: rows - 1}
+			k.Exec(args)
+			if w0, w1 := vs[0].WorkEstimate(args), k.WorkEstimate(args); w0 != w1 {
+				t.Fatalf("%s variant work estimates differ: %d vs %d", op, w0, w1)
+			}
+			outs[i] = y.Vals
+		}
+		for i := range outs[0] {
+			if math.Float64bits(outs[0][i]) != math.Float64bits(outs[1][i]) {
+				t.Fatalf("%s row %d: base %v != hoist %v", op, i, outs[0][i], outs[1][i])
+			}
+		}
+	}
+}
+
+// TestHoistRejectedOffTemplate: the hoist directive is only meaningful
+// for the row-iteration templates; compiling it elsewhere must fail
+// loudly instead of silently ignoring the schedule.
+func TestHoistRejectedOffTemplate(t *testing.T) {
+	i, j, k := IndexVar("i"), IndexVar("j"), IndexVar("k")
+	p := Program{
+		Name:    "spmm_hoist_bad",
+		Compute: Assign{LHS: A("Y", i, k), RHS: []Access{A("A", i, j), A("X", j, k)}},
+		Formats: map[string]Format{
+			"Y": DenseMatrix, "A": CSR, "X": DenseMatrix,
+		},
+		Schedule: stdSchedule(CPUThread).Hoist(IndexVar("ii")),
+	}
+	if _, err := Compile(p); err == nil {
+		t.Fatal("hoist on the SpMM template compiled; want CompileError")
+	}
+}
+
+// TestScopedRegistryIsolation: two scoped views of one registry count
+// their own traffic without touching each other or the parent counters,
+// while still sharing the underlying kernel table (satellite fix for
+// cross-worker stat bleed in legate-serve).
+func TestScopedRegistryIsolation(t *testing.T) {
+	r := NewRegistry()
+	GenerateStandardKernels(r)
+	base := r.Stats()
+
+	s1, s2 := r.Scoped(), r.Scoped()
+	for i := 0; i < 3; i++ {
+		if _, ok := s1.Lookup("spmv", CSR, CPUThread); !ok {
+			t.Fatal("scoped lookup missed a registered kernel")
+		}
+	}
+	s1.Lookup("nope", CSR, CPUThread)
+	s2.Variants("spmv", CSR, CPUThread)
+
+	if st := s1.Stats(); st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("scope 1 stats = %+v, want 3 hits 1 miss", st)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("scope 2 stats = %+v, want 1 hit", st)
+	}
+	after := r.Stats()
+	if after.Hits != base.Hits || after.Misses != base.Misses {
+		t.Fatalf("scoped traffic leaked into parent counters: before %+v after %+v", base, after)
+	}
+	if st := s1.Stats(); st.Variants != after.Variants {
+		t.Fatalf("scoped variant count %d != parent %d", st.Variants, after.Variants)
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -67,8 +68,10 @@ type MetricsSnapshot struct {
 	// PartitionCache aggregates every live pool runtime's legion cache
 	// counters — the §4.1 partition reuse this server exists to exploit.
 	PartitionCache legion.CacheStats `json:"partition_cache"`
-	// PlanCache is the DISTAL kernel registry: the compiled-plan cache
-	// shared by all runtimes.
+	// PlanCache aggregates the workers' scoped views of the shared DISTAL
+	// kernel registry. Scoped counters keep this server's hit rate
+	// accurate even when other registry consumers (tests, benchmarks, a
+	// second server) share the process-global plan cache.
 	PlanCache distal.RegistryStats `json:"plan_cache"`
 }
 
@@ -125,8 +128,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Replacements: m.replacements.Load(),
 			Retries:      m.retries.Load(),
 		},
-		PlanCache: distal.Standard.Stats(),
 	}
+	snap.PlanCache.Variants = distal.Standard.Stats().Variants
 	if snap.Batching.Batches > 0 {
 		snap.Batching.MeanSize = float64(snap.Batching.Jobs) / float64(snap.Batching.Batches)
 	}
@@ -138,6 +141,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap.Requests[c.String()] = cm
 	}
 	for _, wk := range s.workers {
+		ps := wk.reg.Stats()
+		snap.PlanCache.Hits += ps.Hits
+		snap.PlanCache.Misses += ps.Misses
 		cs := wk.cacheStats()
 		snap.PartitionCache.PartHits += cs.PartHits
 		snap.PartitionCache.PartMisses += cs.PartMisses
@@ -152,6 +158,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap.PartitionCache.ImageEntries += cs.ImageEntries
 		snap.PartitionCache.ImageSetEntries += cs.ImageSetEntries
 	}
+	writeJSON(w, snap)
+}
+
+// TuneSnapshot is the JSON shape of GET /tune: every cached binding's
+// learned autotuner state plus the server's aggregated plan-cache view.
+type TuneSnapshot struct {
+	Enabled   bool                 `json:"enabled"`
+	Bindings  []TuneEntry          `json:"bindings"`
+	PlanCache distal.RegistryStats `json:"plan_cache"`
+}
+
+// handleTune reports the feedback-directed mapping state: for each
+// worker's cached (matrix, format) binding, the tuner's variant table,
+// fusion window, and balance decisions. Learned state lives in the
+// binding LRU, so it persists across requests and dies with eviction.
+func (s *Server) handleTune(w http.ResponseWriter, _ *http.Request) {
+	snap := TuneSnapshot{Enabled: !s.cfg.NoTune, Bindings: []TuneEntry{}}
+	for _, wk := range s.workers {
+		snap.Bindings = append(snap.Bindings, wk.tuneReport()...)
+		ps := wk.reg.Stats()
+		snap.PlanCache.Hits += ps.Hits
+		snap.PlanCache.Misses += ps.Misses
+	}
+	snap.PlanCache.Variants = distal.Standard.Stats().Variants
+	sort.Slice(snap.Bindings, func(i, j int) bool {
+		a, b := snap.Bindings[i], snap.Bindings[j]
+		if a.Matrix != b.Matrix {
+			return a.Matrix < b.Matrix
+		}
+		if a.Format != b.Format {
+			return a.Format < b.Format
+		}
+		return a.Worker < b.Worker
+	})
 	writeJSON(w, snap)
 }
 

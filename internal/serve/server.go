@@ -55,6 +55,7 @@ type Config struct {
 	Faults          string        // fault.Parse spec applied to every pool runtime
 	CheckpointEvery int           // launches per checkpoint epoch (default 64; 0 disables recovery)
 	ProfCapacity    int           // per-class profiling sink capacity (default 4096)
+	NoTune          bool          // disable per-binding autotuning (decisions pinned to the static mapper)
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +207,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /matrix", s.handleUpload)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /profile", s.handleProfile)
+	mux.HandleFunc("GET /tune", s.handleTune)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }

@@ -1,0 +1,442 @@
+// Package tune closes the feedback loop from the profiling subsystem to
+// the mapper and kernel planner: an online autotuner in the spirit of
+// the paper's composable-mapper argument (§4) — mapping policy evolves
+// from measured data without any application-code change.
+//
+// A Tuner attaches to one runtime (legion.Runtime.SetTuner) and makes
+// three kinds of decisions, each from a different feedback stream:
+//
+//   - Kernel-variant selection. The DISTAL registry may hold several
+//     interchangeable loop shapes per (op, format, target) slot. The
+//     planner asks PickKernel instead of taking static registry order;
+//     the tuner keeps an exponentially weighted moving average of each
+//     variant's measured wall-clock rate (elements/second) and picks the
+//     fastest, with deterministic round-robin exploration so a variant
+//     whose relative speed changes is re-discovered.
+//   - Adaptive fusion window. The simulated profile gives the mean point
+//     span; the cost model gives the per-launch overhead fusion
+//     amortizes. When launches are overhead-bound the tuner widens the
+//     legion deferral window (never below the static default, never when
+//     the user disabled fusion).
+//   - Comms-aware distribution. When one task's point spans show load
+//     imbalance (max ≫ mean, the signature of a skewed row partition),
+//     the tuner flips that task's distribution constraint to an
+//     nnz-balanced partition — and reverts, permanently, if the copy
+//     traffic per span then grows, since a cheaper placement that moves
+//     more data is not cheaper.
+//
+// Every decision is scheduling-only: variants are bit-identical loop
+// shapes, the fusion window changes batching not semantics, and the
+// balanced partition preserves per-row sequential accumulation. Solver
+// outputs with tuning on are therefore bit-identical to the static
+// mapper. Simulated-time decisions consume only deterministic inputs
+// (profile spans, cost model), so simulated metrics also stay
+// reproducible; only real wall-clock feeds the variant model.
+package tune
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/distal"
+	"repro/internal/legion"
+)
+
+const (
+	// retuneEvery is the planner-call cadence of MaybeRetune: feedback is
+	// re-evaluated every retuneEvery tuned launches.
+	retuneEvery = 16
+	// exploreEvery: once every arm has been tried, one pick in
+	// exploreEvery round-robins through the arms (deterministic
+	// epsilon-greedy with epsilon = 1/exploreEvery and no RNG).
+	exploreEvery = 16
+	// ewmaAlpha weighs the newest rate observation.
+	ewmaAlpha = 0.25
+	// minSpans is the profile mass required before the fusion window or
+	// the distribution decision moves off the static default.
+	minSpans = 32
+	// maxWindow bounds the adaptive fusion window.
+	maxWindow = 64
+	// imbalanceRatio is the max/mean point-duration ratio beyond which a
+	// task's row distribution is considered skewed.
+	imbalanceRatio = 1.5
+	// commsGrowth reverts a balanced distribution whose copy bytes per
+	// span grew by more than this factor.
+	commsGrowth = 2.0
+)
+
+// autoAttach mirrors legion.SetDefaultFusionWindow: when on, For creates
+// and attaches a tuner to any runtime that lacks one, so a CLI flag
+// reaches runtimes constructed deep inside the bench package.
+var autoAttach atomic.Bool
+
+// SetAutoTune turns global auto-attach on or off (default off: without
+// the -tune flag nothing changes, and behavior is bit-for-bit the
+// static mapper's).
+func SetAutoTune(on bool) { autoAttach.Store(on) }
+
+// AutoTune reports the global auto-attach setting.
+func AutoTune() bool { return autoAttach.Load() }
+
+// arm is one registry variant's measured-rate model.
+type arm struct {
+	k     *distal.Kernel
+	picks int64
+	obs   int64
+	rate  float64 // EWMA of elements per second, real wall-clock
+}
+
+// armSet is the per-dispatch-slot state.
+type armSet struct {
+	arms  []*arm
+	picks int64
+}
+
+// balanceState is one task's distribution decision.
+type balanceState struct {
+	on           bool
+	pinnedStatic bool    // reverted by the comms guard; never re-flipped
+	baseBytes    float64 // copy bytes per span when the flip happened
+}
+
+// Tuner is the per-runtime (in legate-serve: per-matrix-binding)
+// autotuning state. All methods are safe for concurrent use; the
+// planner calls PickKernel/MaybeRetune from the application goroutine
+// while worker goroutines report Observe from kernel bodies.
+type Tuner struct {
+	reg *distal.Scoped
+
+	mu      sync.Mutex
+	enabled bool
+	calls   int64
+	sets    map[distal.OpKey]*armSet
+	window  int // last fusion window this tuner applied (0 = none yet)
+	balance map[string]*balanceState
+}
+
+// New creates a tuner that dispatches through scope (nil: a fresh
+// Scoped view of distal.Standard). Sharing one scope across several
+// tuners — legate-serve gives each worker one scope and each cached
+// matrix binding its own tuner — pools their plan-cache counters.
+func New(scope *distal.Scoped) *Tuner {
+	if scope == nil {
+		scope = distal.Standard.Scoped()
+	}
+	return &Tuner{
+		reg:     scope,
+		enabled: true,
+		sets:    map[distal.OpKey]*armSet{},
+		balance: map[string]*balanceState{},
+	}
+}
+
+// Attach creates a tuner with its own registry scope and installs it on
+// rt. Call from the application goroutine.
+func Attach(rt *legion.Runtime) *Tuner {
+	t := New(nil)
+	rt.SetTuner(t)
+	return t
+}
+
+// For returns rt's attached tuner. Without one it auto-attaches a fresh
+// tuner when SetAutoTune(true) is in effect, and otherwise returns nil —
+// the planner's signal to use the static path.
+func For(rt *legion.Runtime) *Tuner {
+	if t, ok := rt.Tuner().(*Tuner); ok {
+		return t
+	}
+	if !AutoTune() {
+		return nil
+	}
+	return Attach(rt)
+}
+
+// SetEnabled toggles decision making. A disabled tuner still counts
+// plan-cache traffic on its scope but always returns the static variant
+// and never retunes.
+func (t *Tuner) SetEnabled(on bool) {
+	t.mu.Lock()
+	t.enabled = on
+	t.mu.Unlock()
+}
+
+// Registry returns the tuner's scoped plan-cache view.
+func (t *Tuner) Registry() *distal.Scoped { return t.reg }
+
+// PickKernel resolves (op, format, target) by measured rate. Ordering
+// is deterministic: first every arm once in registration order (so both
+// variants get observations), then the best-rate arm, with one
+// round-robin exploration pick every exploreEvery calls.
+func (t *Tuner) PickKernel(op string, format distal.Format, target distal.Target) (*distal.Kernel, bool) {
+	vs := t.reg.Variants(op, format, target)
+	if len(vs) == 0 {
+		return nil, false
+	}
+	if len(vs) == 1 {
+		return vs[0], true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled {
+		return vs[0], true
+	}
+	key := distal.OpKey{Op: op, Format: format.String(), Target: target}
+	s := t.sets[key]
+	if s == nil || len(s.arms) != len(vs) {
+		s = &armSet{arms: make([]*arm, len(vs))}
+		for i, k := range vs {
+			s.arms[i] = &arm{k: k}
+		}
+		t.sets[key] = s
+	}
+	var chosen *arm
+	switch {
+	case s.picks < int64(len(s.arms)):
+		chosen = s.arms[s.picks]
+	case s.picks%exploreEvery == 0:
+		chosen = s.arms[(s.picks/exploreEvery)%int64(len(s.arms))]
+	default:
+		chosen = s.arms[0]
+		for _, a := range s.arms[1:] {
+			if a.obs > 0 && (chosen.obs == 0 || a.rate > chosen.rate) {
+				chosen = a
+			}
+		}
+	}
+	s.picks++
+	chosen.picks++
+	return chosen.k, true
+}
+
+// Observe reports one measured kernel execution: elems processed in d
+// of real wall-clock. Called concurrently from point-task bodies.
+func (t *Tuner) Observe(op string, format distal.Format, target distal.Target, variant string, elems int64, d time.Duration) {
+	if elems <= 0 || d <= 0 {
+		return
+	}
+	rate := float64(elems) / d.Seconds()
+	key := distal.OpKey{Op: op, Format: format.String(), Target: target}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.sets[key]
+	if s == nil {
+		return
+	}
+	for _, a := range s.arms {
+		if a.k.Variant != variant {
+			continue
+		}
+		a.obs++
+		if a.obs == 1 {
+			a.rate = rate
+		} else {
+			a.rate = ewmaAlpha*rate + (1-ewmaAlpha)*a.rate
+		}
+		return
+	}
+}
+
+// BalanceRows reports whether taskName's row distribution should use the
+// nnz-balanced partition instead of the static equal-rows one.
+func (t *Tuner) BalanceRows(taskName string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.balance[taskName]
+	return b != nil && b.on
+}
+
+// MaybeRetune is the planner's per-launch hook: every retuneEvery calls
+// it re-reads the feedback (profiling sink when attached, the always-on
+// legion profile otherwise) and updates the fusion window and
+// distribution decisions. Call from the application goroutine — it may
+// resize the fusion window, which flushes pending fused launches.
+func (t *Tuner) MaybeRetune(rt *legion.Runtime) {
+	t.mu.Lock()
+	t.calls++
+	due := t.enabled && t.calls%retuneEvery == 0
+	t.mu.Unlock()
+	if due {
+		t.retune(rt)
+	}
+}
+
+// feedback is the per-retune aggregate extracted from either source.
+type feedback struct {
+	spans     int64
+	totalDur  time.Duration
+	taskTotal map[string]time.Duration
+	taskSpans map[string]int64
+	taskMax   map[string]time.Duration
+	copyBytes int64
+}
+
+func gather(rt *legion.Runtime) feedback {
+	fb := feedback{
+		taskTotal: map[string]time.Duration{},
+		taskSpans: map[string]int64{},
+		taskMax:   map[string]time.Duration{},
+	}
+	if sink := rt.Profiler(); sink != nil {
+		sum := sink.Summary(rt.ProfRun())
+		fb.spans = int64(sum.Spans)
+		fb.totalDur = sum.TotalDur
+		fb.copyBytes = sum.CopyBytes
+		for name, ts := range sum.Tasks {
+			fb.taskTotal[name] = ts.Total
+			fb.taskSpans[name] = int64(ts.Spans)
+			fb.taskMax[name] = ts.Max
+		}
+		return fb
+	}
+	for _, e := range rt.Profile().Entries() {
+		fb.spans += e.Points
+		fb.totalDur += e.SimTime
+		fb.taskTotal[e.Name] = e.SimTime
+		fb.taskSpans[e.Name] = e.Points
+		fb.taskMax[e.Name] = e.MaxPoint
+	}
+	fb.copyBytes = rt.Stats().MovedBytes()
+	return fb
+}
+
+func (t *Tuner) retune(rt *legion.Runtime) {
+	fb := gather(rt)
+	if fb.spans < minSpans {
+		return
+	}
+	meanSpan := fb.totalDur / time.Duration(fb.spans)
+
+	// Adaptive fusion window: when the per-launch overhead rivals or
+	// exceeds the mean point span, each deferred launch amortizes real
+	// scheduling cost — widen the window proportionally. Floor at the
+	// static default (fusion already pays for itself there) and respect a
+	// user-disabled window (FusionWindow() == 0).
+	if cur := rt.FusionWindow(); cur > 0 && meanSpan > 0 {
+		ratio := float64(rt.Cost().LaunchOverhead) / float64(meanSpan)
+		w := int(float64(legion.DefaultWindow) * ratio)
+		if w < legion.DefaultWindow {
+			w = legion.DefaultWindow
+		}
+		if w > maxWindow {
+			w = maxWindow
+		}
+		if w != cur {
+			rt.SetFusionWindow(w)
+		}
+		t.mu.Lock()
+		t.window = w
+		t.mu.Unlock()
+	}
+
+	// Comms-aware distribution: per task, flip to the nnz-balanced row
+	// partition on sustained imbalance; revert for good if the balanced
+	// placement inflates copy traffic per span.
+	bytesPerSpan := float64(fb.copyBytes) / float64(fb.spans)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name, spans := range fb.taskSpans {
+		if spans < minSpans {
+			continue
+		}
+		mean := fb.taskTotal[name] / time.Duration(spans)
+		if mean <= 0 {
+			continue
+		}
+		b := t.balance[name]
+		if b == nil {
+			b = &balanceState{}
+			t.balance[name] = b
+		}
+		switch {
+		case b.on:
+			if bytesPerSpan > commsGrowth*b.baseBytes && b.baseBytes > 0 {
+				b.on = false
+				b.pinnedStatic = true
+			}
+		case !b.pinnedStatic:
+			if float64(fb.taskMax[name])/float64(mean) > imbalanceRatio {
+				b.on = true
+				b.baseBytes = bytesPerSpan
+			}
+		}
+	}
+}
+
+// VariantDecision is one arm's state in a Decisions snapshot.
+type VariantDecision struct {
+	Op      string  `json:"op"`
+	Format  string  `json:"format"`
+	Target  string  `json:"target"`
+	Variant string  `json:"variant"`
+	Picks   int64   `json:"picks"`
+	Obs     int64   `json:"obs"`
+	Rate    float64 `json:"rate"` // EWMA elements/second (wall-clock)
+	Best    bool    `json:"best"` // the arm PickKernel currently exploits
+}
+
+// Decisions is the tuner's externally visible state, served by
+// legate-serve's /tune endpoint and asserted on by tests.
+type Decisions struct {
+	Enabled      bool                 `json:"enabled"`
+	Calls        int64                `json:"calls"`
+	FusionWindow int                  `json:"fusion_window,omitempty"` // 0: not adapted yet
+	Balanced     []string             `json:"balanced,omitempty"`      // tasks on the nnz-balanced distribution
+	Variants     []VariantDecision    `json:"variants,omitempty"`
+	PlanCache    distal.RegistryStats `json:"plan_cache"`
+}
+
+// Decisions snapshots the tuner's current state, deterministically
+// ordered.
+func (t *Tuner) Decisions() Decisions {
+	t.mu.Lock()
+	d := Decisions{
+		Enabled:      t.enabled,
+		Calls:        t.calls,
+		FusionWindow: t.window,
+	}
+	for name, b := range t.balance {
+		if b.on {
+			d.Balanced = append(d.Balanced, name)
+		}
+	}
+	for key, s := range t.sets {
+		best := -1
+		for i, a := range s.arms {
+			if a.obs == 0 {
+				continue
+			}
+			if best < 0 || a.rate > s.arms[best].rate {
+				best = i
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		for i, a := range s.arms {
+			d.Variants = append(d.Variants, VariantDecision{
+				Op: key.Op, Format: key.Format, Target: key.Target.String(),
+				Variant: a.k.Variant, Picks: a.picks, Obs: a.obs, Rate: a.rate,
+				Best: i == best,
+			})
+		}
+	}
+	t.mu.Unlock()
+	sort.Strings(d.Balanced)
+	sort.Slice(d.Variants, func(i, j int) bool {
+		a, b := d.Variants[i], d.Variants[j]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Format != b.Format {
+			return a.Format < b.Format
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Variant < b.Variant
+	})
+	d.PlanCache = t.reg.Stats()
+	return d
+}

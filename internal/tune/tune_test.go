@@ -1,0 +1,211 @@
+// Package tune_test exercises the autotuner end to end through the core
+// planner. It lives in an external test package because core imports
+// tune: the production dependency edge is core → tune, and these tests
+// need both.
+package tune_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cunumeric"
+	"repro/internal/distal"
+	"repro/internal/fault"
+	"repro/internal/legion"
+	"repro/internal/machine"
+	"repro/internal/solvers"
+	"repro/internal/tune"
+)
+
+func newRuntime(procs int) *legion.Runtime {
+	m := machine.New(machine.Config{Nodes: (procs + 1) / 2})
+	return legion.NewRuntime(m, m.Select(machine.CPU, procs))
+}
+
+// runCG solves the 2-D Poisson system with CG and returns the solution
+// bits. When tuned is true an autotuner is attached to the runtime, so
+// every SpMV goes through the feedback-directed planner.
+func runCG(t *testing.T, procs int, nx int64, iters int, tuned bool) ([]float64, *tune.Tuner) {
+	t.Helper()
+	rt := newRuntime(procs)
+	defer rt.Shutdown()
+	var tn *tune.Tuner
+	if tuned {
+		tn = tune.Attach(rt)
+	}
+	a := core.Poisson2D(rt, nx)
+	defer a.Destroy()
+	b := cunumeric.Full(rt, a.Rows(), 1)
+	defer b.Destroy()
+	res := solvers.CG(a, b, iters, 0)
+	if rt.Err() != nil {
+		t.Fatalf("runtime error: %v", rt.Err())
+	}
+	x := res.X.ToSlice()
+	res.X.Destroy()
+	return x, tn
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTunedCGBitIdentical is the core determinism guarantee: attaching
+// the tuner changes schedules (variants, fusion window, distribution)
+// but never the floating-point result.
+func TestTunedCGBitIdentical(t *testing.T) {
+	static, _ := runCG(t, 4, 24, 60, false)
+	tuned, tn := runCG(t, 4, 24, 60, true)
+	if !bitsEqual(static, tuned) {
+		t.Fatal("tuned CG solution is not bit-identical to the static mapper")
+	}
+	if tn == nil {
+		t.Fatal("tuner was not attached")
+	}
+	d := tn.Decisions()
+	if d.Calls == 0 {
+		t.Fatal("tuner observed no launches")
+	}
+	if len(d.Variants) == 0 {
+		t.Fatal("tuner recorded no variant observations")
+	}
+}
+
+// TestTunedPowerIterationBitIdentical covers the eigen path: repeated
+// SpMV through the tuner with reductions (Norm, Dot) in between. On
+// this problem size the tuner demonstrably changes the schedule — it
+// widens the fusion window and flips spmv to the nnz-balanced
+// distribution — and the result must still match the static mapper bit
+// for bit. (The balanced partition is mapping-only precisely so these
+// downstream reductions keep their static grouping.)
+func TestTunedPowerIterationBitIdentical(t *testing.T) {
+	run := func(tuned bool) (float64, []float64, *tune.Tuner) {
+		rt := newRuntime(4)
+		defer rt.Shutdown()
+		var tn *tune.Tuner
+		if tuned {
+			tn = tune.Attach(rt)
+		}
+		a := core.Poisson2D(rt, 8)
+		defer a.Destroy()
+		lambda, vec := solvers.PowerIteration(a, 30, 9)
+		out := vec.ToSlice()
+		vec.Destroy()
+		return lambda, out, tn
+	}
+	l0, v0, _ := run(false)
+	l1, v1, tn := run(true)
+	if math.Float64bits(l0) != math.Float64bits(l1) {
+		t.Fatalf("tuned eigenvalue differs: static=%v tuned=%v", l0, l1)
+	}
+	if !bitsEqual(v0, v1) {
+		t.Fatal("tuned eigenvector is not bit-identical")
+	}
+	// The guarantee above is only interesting if the schedule moved.
+	d := tn.Decisions()
+	if d.FusionWindow <= legion.DefaultWindow && len(d.Balanced) == 0 {
+		t.Fatalf("tuner made no scheduling decision on a launch-bound run: %+v", d)
+	}
+}
+
+// TestTunedFaultReplayBitIdentical: the strongest determinism claim —
+// a tuned run that loses point tasks mid-flight and recovers through
+// checkpoint/replay still reproduces the static fault-free solution
+// exactly. The tuner's decisions ride through restore + replay because
+// every one of them is scheduling-only.
+func TestTunedFaultReplayBitIdentical(t *testing.T) {
+	const procs, nx, iters = 4, 24, 60
+	run := func(tuned, faulty bool) []float64 {
+		rt := newRuntime(procs)
+		defer rt.Shutdown()
+		rt.EnableCheckpointing(16)
+		if tuned {
+			tune.Attach(rt)
+		}
+		if faulty {
+			rt.SetFaultInjector(fault.New(7).SetRate(1.0/64, 8))
+		}
+		a := core.Poisson2D(rt, nx)
+		defer a.Destroy()
+		b := cunumeric.Full(rt, a.Rows(), 1)
+		defer b.Destroy()
+		res := solvers.CG(a, b, iters, 0)
+		if rt.Err() != nil {
+			t.Fatalf("runtime error (tuned=%v faulty=%v): %v", tuned, faulty, rt.Err())
+		}
+		if faulty && rt.Stats().Restores.Load() == 0 {
+			t.Fatalf("fault schedule triggered no restores; test is vacuous")
+		}
+		x := res.X.ToSlice()
+		res.X.Destroy()
+		return x
+	}
+	want := run(false, false)
+	if got := run(true, true); !bitsEqual(want, got) {
+		t.Fatal("tuned faulty run is not bit-identical to static fault-free run")
+	}
+}
+
+// TestPickKernelDeterministic: the epsilon-greedy policy is a pure
+// function of the pick counter, so two fresh tuners replay the same
+// sequence of variants.
+func TestPickKernelDeterministic(t *testing.T) {
+	seqOf := func() []string {
+		tn := tune.New(nil)
+		var seq []string
+		for i := 0; i < 64; i++ {
+			k, ok := tn.PickKernel("spmv", distal.CSR, distal.CPUThread)
+			if !ok {
+				t.Fatal("no spmv kernel")
+			}
+			seq = append(seq, k.Variant)
+			// Feed identical observations so rates evolve identically.
+			tn.Observe("spmv", distal.CSR, distal.CPUThread, k.Variant, 1000, 1000)
+		}
+		return seq
+	}
+	a, b := seqOf(), seqOf()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPickKernelExplores: every registered variant gets at least one
+// pick, and with a decisively faster arm the policy converges to it.
+func TestPickKernelExplores(t *testing.T) {
+	tn := tune.New(nil)
+	seen := map[string]bool{}
+	for i := 0; i < 48; i++ {
+		k, ok := tn.PickKernel("spmv", distal.CSR, distal.CPUThread)
+		if !ok {
+			t.Fatal("no spmv kernel")
+		}
+		seen[k.Variant] = true
+		// Make the hoisted variant measure 10x faster.
+		d := int64(10000)
+		if k.Variant == "hoist" {
+			d = 1000
+		}
+		tn.Observe("spmv", distal.CSR, distal.CPUThread, k.Variant, 100000, time.Duration(d))
+	}
+	if !seen["base"] || !seen["hoist"] {
+		t.Fatalf("exploration missed a variant: %v", seen)
+	}
+	// Past the warm-up, the non-explore picks must be the fast arm.
+	k, _ := tn.PickKernel("spmv", distal.CSR, distal.CPUThread)
+	if k.Variant != "hoist" {
+		t.Fatalf("policy did not converge to the fast variant, picked %s", k.Variant)
+	}
+}
