@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-fusion bench-serve bench-tune bench-json chaos prof serve tune docs links
+.PHONY: check fmt vet build test race bench-fusion bench-serve bench-tune bench-json chaos overload prof serve tune docs links
 
 # check is the full pre-merge gate: formatting, static analysis, build,
 # the race-enabled test suite (including the legate-serve e2e suite),
-# the fault-injection suite, the feedback-directed mapping suite, one
-# pass over the fusion, serve, and tune wall-clock benchmarks (compile +
-# run, not a timing study — use `go test -bench` directly with a real
-# -benchtime for numbers), the legate-prof artifact smoke test, and the
-# documentation gates.
-check: fmt vet build race chaos tune bench-fusion bench-serve bench-tune prof docs links
+# the fault-injection suite, the overload-chaos lifecycle suite, the
+# feedback-directed mapping suite, one pass over the fusion, serve, and
+# tune wall-clock benchmarks (compile + run, not a timing study — use
+# `go test -bench` directly with a real -benchtime for numbers), the
+# legate-prof artifact smoke test, and the documentation gates.
+check: fmt vet build race chaos overload tune bench-fusion bench-serve bench-tune prof docs links
 
 # fmt fails (and lists offenders) if any file is not gofmt-clean.
 fmt:
@@ -34,6 +34,14 @@ race:
 # acceptance test.
 chaos:
 	$(GO) test -race -run 'Fault|Panic|Recovery|ProcDeath|Rescale|Checkpoint|Sticky|Chaos' ./internal/fault/ ./internal/legion/ ./internal/bench/
+
+# overload runs the deterministic overload-chaos lifecycle suite under
+# the race detector: deadline cancellation that keeps the worker warm
+# and bit-identical, bounded-queue / quota / queue-wait shedding with
+# Retry-After envelopes, the circuit-breaker lifecycle, graceful drain,
+# the mixed-traffic chaos run, and the goroutine-leak check.
+overload:
+	$(GO) test -race -count=1 -run 'Overload' ./internal/serve/
 
 # serve runs the legate-serve end-to-end suite on its own (it is also
 # part of `race`): served results bit-identical to direct solver calls,
@@ -64,6 +72,13 @@ bench-tune:
 # commit.
 bench-json:
 	$(GO) run ./cmd/legate-bench -exp tune -json BENCH_pr6.json \
+		-commit $$(git rev-parse --short HEAD)
+
+# bench-json-serve regenerates BENCH_pr7.json: the serve load test —
+# including the overload case's throughput, p50/p99, and shed rate —
+# as machine-readable records stamped with the current commit.
+bench-json-serve:
+	$(GO) run ./cmd/legate-bench -exp serve -json BENCH_pr7.json \
 		-commit $$(git rev-parse --short HEAD)
 
 # docs fails if any package lacks a package-level doc comment, or if

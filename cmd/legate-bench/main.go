@@ -54,7 +54,7 @@ func main() {
 	profOut := flag.String("prof-out", "", "directory to write observability artifacts (Chrome trace, DOT dependence graph, critical-path report) covering every runtime the experiments create")
 	tuneOn := flag.Bool("tune", false, "attach the feedback-directed autotuner to every runtime the experiments create")
 	tunePresets := flag.String("tune-presets", "", "comma-separated preset filter for -exp tune (default: all of cg,gmg,quantum,pagerank)")
-	jsonOut := flag.String("json", "", "write -exp tune results as machine-readable JSON records to this path")
+	jsonOut := flag.String("json", "", "write -exp tune/serve results as machine-readable JSON records to this path")
 	commit := flag.String("commit", "", "commit id recorded in -json output")
 	flag.Parse()
 
@@ -187,7 +187,24 @@ func main() {
 		runTune()
 	case "serve":
 		t0 := time.Now()
-		fmt.Printf("%s(generated in %v)\n\n", bench.FormatServeLoad(bench.ServeLoad(opt)), time.Since(t0).Round(time.Millisecond))
+		results := bench.ServeLoad(opt)
+		fmt.Printf("%s(generated in %v)\n\n", bench.FormatServeLoad(results), time.Since(t0).Round(time.Millisecond))
+		if *jsonOut != "" {
+			var records []benchRecord
+			for _, r := range results {
+				records = append(records,
+					benchRecord{Preset: r.Name, Metric: "throughput_req_per_sec", Value: r.Throughput, Commit: *commit},
+					benchRecord{Preset: r.Name, Metric: "p50_latency_ms", Value: float64(r.P50Lat) / float64(time.Millisecond), Commit: *commit},
+					benchRecord{Preset: r.Name, Metric: "p99_latency_ms", Value: float64(r.P99Lat) / float64(time.Millisecond), Commit: *commit},
+					benchRecord{Preset: r.Name, Metric: "shed_rate", Value: r.ShedRate, Commit: *commit},
+				)
+			}
+			if err := writeBenchJSON(*jsonOut, records); err != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d records -> %s\n", len(records), *jsonOut)
+		}
 	case "all":
 		run("fig8", bench.Fig8SpMV)
 		run("fig9", bench.Fig9CG)

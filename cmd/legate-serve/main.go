@@ -1,9 +1,17 @@
 // Command legate-serve runs the solver service: an HTTP JSON API over a
-// pool of warm runtimes with cross-request plan and partition caching.
+// pool of warm runtimes with cross-request plan and partition caching,
+// fronted by admission control (deadlines, per-tenant quotas, bounded
+// queues, circuit breakers) and stopped with a graceful drain.
 //
 // Usage:
 //
 //	legate-serve -addr :8080 -pool 2 -procs 4 -kind cpu
+//	             [-deadline 0] [-max-queue 256] [-quota RATE[:BURST]]
+//	             [-breaker N] [-breaker-cooldown 2s] [-drain 10s]
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the server stops admitting
+// (new requests shed 503 "draining"), in-flight requests get up to
+// -drain to complete, then the pool is torn down.
 //
 // See README.md ("legate-serve quickstart") for curl examples and the
 // full flags table, and ARCHITECTURE.md for how a request flows through
@@ -11,15 +19,43 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/serve"
 )
+
+// parseQuota parses -quota's RATE[:BURST] form.
+func parseQuota(spec string) (float64, int, error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	rate := spec
+	burst := 0
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		rate = spec[:i]
+		b, err := strconv.Atoi(spec[i+1:])
+		if err != nil || b <= 0 {
+			return 0, 0, fmt.Errorf("bad quota burst in %q", spec)
+		}
+		burst = b
+	}
+	r, err := strconv.ParseFloat(rate, 64)
+	if err != nil || r < 0 {
+		return 0, 0, fmt.Errorf("bad quota rate in %q", spec)
+	}
+	return r, burst, nil
+}
 
 func main() {
 	var (
@@ -29,35 +65,81 @@ func main() {
 		kind        = flag.String("kind", "cpu", "processor kind: cpu or gpu")
 		cacheSize   = flag.Int("cache-size", 8, "bound matrices cached per worker (LRU)")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-matrix requests (negative disables batching)")
-		seed        = flag.Uint64("seed", 42, "fault-injection seed")
-		faults      = flag.String("faults", "", "fault spec, e.g. 'point@120:1,proc@2:80ms,rate:0.001' (see internal/fault)")
+		seed        = flag.Uint64("seed", 42, "fault-injection seed (also salts retry jitter)")
+		faults      = flag.String("faults", "", "fault spec, e.g. 'point@120:1,proc@2:80ms,rate:0.001,lag:0.05:5ms' (see internal/fault)")
 		ckptEvery   = flag.Int("checkpoint-every", 64, "launches per checkpoint epoch (-1 disables recovery)")
 		profCap     = flag.Int("prof-capacity", 4096, "profiling sink capacity per request class")
 		tuneOn      = flag.Bool("tune", true, "feedback-directed mapping: per-binding autotuners (GET /tune reports decisions)")
+		deadline    = flag.Duration("deadline", 0, "per-request deadline budget (0 = none; X-Deadline header overrides)")
+		maxQueue    = flag.Int("max-queue", 256, "bounded per-worker queue depth; a full queue sheds 503")
+		quota       = flag.String("quota", "", "per-tenant admission quota RATE[:BURST] in requests/sec (empty disables)")
+		brkN        = flag.Int("breaker", 0, "consecutive degradations that trip a worker's circuit breaker (0 disables)")
+		brkCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open -> half-open probe delay")
+		retries     = flag.Int("retry-budget", 2, "total executions per degraded batch group")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 
+	quotaRate, quotaBurst, err := parseQuota(*quota)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "legate-serve:", err)
+		os.Exit(2)
+	}
+
 	s, err := serve.NewServer(serve.Config{
-		Pool:            *pool,
-		Procs:           *procs,
-		Kind:            *kind,
-		CacheSize:       *cacheSize,
-		BatchWindow:     *batchWindow,
-		Seed:            *seed,
-		Faults:          *faults,
-		CheckpointEvery: *ckptEvery,
-		ProfCapacity:    *profCap,
-		NoTune:          !*tuneOn,
+		Pool:             *pool,
+		Procs:            *procs,
+		Kind:             *kind,
+		CacheSize:        *cacheSize,
+		BatchWindow:      *batchWindow,
+		Seed:             *seed,
+		Faults:           *faults,
+		CheckpointEvery:  *ckptEvery,
+		ProfCapacity:     *profCap,
+		NoTune:           !*tuneOn,
+		Deadline:         *deadline,
+		MaxQueue:         *maxQueue,
+		QuotaRate:        quotaRate,
+		QuotaBurst:       quotaBurst,
+		BreakerThreshold: *brkN,
+		BreakerCooldown:  *brkCooldown,
+		RetryBudget:      *retries,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "legate-serve:", err)
 		os.Exit(1)
 	}
-	defer s.Close()
 
-	log.Printf("legate-serve: listening on %s (pool=%d procs=%d kind=%s cache=%d batch-window=%v)",
-		*addr, *pool, *procs, *kind, *cacheSize, *batchWindow)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("legate-serve: listening on %s (pool=%d procs=%d kind=%s cache=%d batch-window=%v deadline=%v max-queue=%d)",
+			*addr, *pool, *procs, *kind, *cacheSize, *batchWindow, *deadline, *maxQueue)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		s.Close()
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: shed new admissions, give in-flight work its
+	// drain budget, stop the listener, then tear down the pool.
+	log.Printf("legate-serve: shutting down (drain budget %v)", *drain)
+	clean := s.Drain(*drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("legate-serve: http shutdown: %v", err)
+	}
+	s.Close()
+	if clean {
+		log.Printf("legate-serve: drained cleanly")
+	} else {
+		log.Printf("legate-serve: drain budget expired with requests in flight")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -22,7 +23,10 @@ type ServeLoadResult struct {
 	Name        string
 	Requests    int
 	Concurrency int
-	Failures    int
+	Failures    int // transport errors and non-lifecycle failures
+	Shed        int // admission-control refusals (429/503 envelopes)
+	Timeouts    int // 504s: admitted but cancelled at the deadline
+	ShedRate    float64
 	Elapsed     time.Duration
 	Throughput  float64 // requests per wall-clock second
 	MeanLat     time.Duration
@@ -39,6 +43,7 @@ type serveLoadCase struct {
 	requests    int
 	concurrency int
 	cold        bool     // flush every cache between requests
+	mixed       bool     // alternate solve and SpMV traffic
 	matrices    []string // round-robined across requests
 }
 
@@ -60,6 +65,20 @@ func ServeLoad(opt Options) []ServeLoadResult {
 	faulty.Seed = opt.Seed
 	faulty.CheckpointEvery = 16
 
+	// Overload configuration: a lag schedule drags every point task, the
+	// per-request deadline bounds how long an admitted request can take,
+	// and the shallow queue sheds the excess up front — the lifecycle
+	// behaviors (DESIGN.md "request lifecycle & overload") under a burst
+	// twice the pool's capacity. p99 is over *successful* requests: the
+	// claim is that admission control keeps it bounded near the deadline
+	// instead of letting queues stretch it without limit.
+	overload := base
+	overload.Faults = "lag:0.1:500us:5000"
+	overload.Seed = opt.Seed
+	overload.Deadline = 300 * time.Millisecond
+	overload.MaxQueue = 4
+	overload.RetryBudget = 2
+
 	cases := []serveLoadCase{
 		{name: "cg cold (caches flushed per request)", cfg: noBatch, requests: n / 2, concurrency: 1, cold: true,
 			matrices: []string{"poisson2d:32"}},
@@ -71,6 +90,8 @@ func ServeLoad(opt Options) []ServeLoadResult {
 			matrices: []string{"poisson2d:32"}},
 		{name: "mixed x16 clients, faults+recovery", cfg: faulty, requests: n, concurrency: 16,
 			matrices: []string{"poisson2d:24", "banded:256", "random:128"}},
+		{name: "overload: lag+deadline 300ms, queue 4, x32", cfg: overload, requests: n, concurrency: 32, mixed: true,
+			matrices: []string{"poisson2d:24", "poisson2d:32"}},
 	}
 	out := make([]ServeLoadResult, 0, len(cases))
 	for _, c := range cases {
@@ -88,39 +109,46 @@ func runServeLoad(c serveLoadCase) ServeLoadResult {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	solve := func(matrix string) (time.Duration, error) {
-		body, _ := json.Marshal(serve.SolveRequest{Matrix: matrix, MaxIter: 8, Tol: 1e-30})
+	do := func(path string, body any) (time.Duration, int, error) {
+		buf, _ := json.Marshal(body)
 		t0 := time.Now()
-		resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		defer resp.Body.Close()
-		var sr serve.SolveResponse
-		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-			return 0, err
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, resp.StatusCode, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return 0, fmt.Errorf("status %d", resp.StatusCode)
+			return 0, resp.StatusCode, fmt.Errorf("status %d", resp.StatusCode)
 		}
-		return time.Since(t0), nil
+		return time.Since(t0), resp.StatusCode, nil
+	}
+	request := func(i int) (time.Duration, int, error) {
+		m := c.matrices[i%len(c.matrices)]
+		if c.mixed && i%2 == 1 {
+			return do("/spmv", serve.SpMVRequest{Matrix: m})
+		}
+		return do("/solve", serve.SolveRequest{Matrix: m, MaxIter: 8, Tol: 1e-30})
 	}
 
 	// Prime every matrix once so "warm" configurations start warm and
 	// the preset build cost stays out of the measurement.
 	for _, m := range c.matrices {
-		solve(m)
+		do("/solve", serve.SolveRequest{Matrix: m, MaxIter: 8, Tol: 1e-30})
 	}
 	if c.cold {
 		s.FlushCaches()
 	}
 
 	lats := make([]time.Duration, c.requests)
+	statuses := make([]int, c.requests)
 	errs := make([]error, c.requests)
 	start := time.Now()
 	if c.concurrency <= 1 {
 		for i := 0; i < c.requests; i++ {
-			lats[i], errs[i] = solve(c.matrices[i%len(c.matrices)])
+			lats[i], statuses[i], errs[i] = request(i)
 			if c.cold {
 				s.FlushCaches()
 			}
@@ -134,7 +162,7 @@ func runServeLoad(c serveLoadCase) ServeLoadResult {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				lats[i], errs[i] = solve(c.matrices[i%len(c.matrices)])
+				lats[i], statuses[i], errs[i] = request(i)
 			}(i)
 		}
 		wg.Wait()
@@ -152,12 +180,20 @@ func runServeLoad(c serveLoadCase) ServeLoadResult {
 	ok := lats[:0]
 	for i, l := range lats {
 		if errs[i] != nil {
-			res.Failures++
+			switch statuses[i] {
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				res.Shed++
+			case http.StatusGatewayTimeout:
+				res.Timeouts++
+			default:
+				res.Failures++
+			}
 			continue
 		}
 		ok = append(ok, l)
 		total += l
 	}
+	res.ShedRate = float64(res.Shed) / float64(c.requests)
 	if len(ok) > 0 {
 		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
 		res.MeanLat = total / time.Duration(len(ok))
@@ -187,11 +223,11 @@ func serveMetrics(url string) serve.MetricsSnapshot {
 func FormatServeLoad(results []ServeLoadResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "legate-serve load test (wall clock)\n")
-	fmt.Fprintf(&b, "%-40s %6s %5s %5s %9s %9s %9s %9s %7s %6s\n",
-		"configuration", "reqs", "conc", "fail", "req/s", "mean", "p50", "p99", "hits", "batch")
+	fmt.Fprintf(&b, "%-44s %6s %5s %5s %5s %5s %9s %9s %9s %9s %7s %6s\n",
+		"configuration", "reqs", "conc", "fail", "shed", "t/o", "req/s", "mean", "p50", "p99", "hits", "batch")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-40s %6d %5d %5d %9.1f %9s %9s %9s %7d %6.2f\n",
-			r.Name, r.Requests, r.Concurrency, r.Failures, r.Throughput,
+		fmt.Fprintf(&b, "%-44s %6d %5d %5d %5d %5d %9.1f %9s %9s %9s %7d %6.2f\n",
+			r.Name, r.Requests, r.Concurrency, r.Failures, r.Shed, r.Timeouts, r.Throughput,
 			r.MeanLat.Round(time.Microsecond), r.P50Lat.Round(time.Microsecond),
 			r.P99Lat.Round(time.Microsecond), r.CacheHits, r.MeanBatch)
 	}

@@ -130,3 +130,96 @@ func TestRateForMTBF(t *testing.T) {
 		t.Fatal("degenerate MTBF inputs must give rate 0")
 	}
 }
+
+func TestDelaySchedulesAreOneShot(t *testing.T) {
+	in := New(1).
+		SlowPoint(5, 1, 10*time.Millisecond).
+		StallLaunch(9, 20*time.Millisecond)
+	if d := in.Delay(5, 0); d != 0 {
+		t.Fatalf("unscheduled point delayed %v", d)
+	}
+	if d := in.Delay(5, 1); d != 10*time.Millisecond {
+		t.Fatalf("slow point delay = %v, want 10ms", d)
+	}
+	if d := in.Delay(5, 1); d != 0 {
+		t.Fatal("slow point delayed twice; replay would re-pay the stall")
+	}
+	// A stalled launch delays every point, each exactly once.
+	for p := 0; p < 3; p++ {
+		if d := in.Delay(9, p); d != 20*time.Millisecond {
+			t.Fatalf("stall point %d delay = %v, want 20ms", p, d)
+		}
+		if d := in.Delay(9, p); d != 0 {
+			t.Fatalf("stall point %d delayed twice", p)
+		}
+	}
+	if got := in.Delays(); got != 4 {
+		t.Fatalf("Delays = %d, want 4", got)
+	}
+	if d := in.Delay(0, 0); d != 0 {
+		t.Fatal("stream 0 must never delay")
+	}
+}
+
+func TestLagIsDeterministicAndDecorrelatedFromRate(t *testing.T) {
+	a := New(99).SetLag(0.1, time.Millisecond, 0)
+	b := New(99).SetLag(0.1, time.Millisecond, 0)
+	faults := New(99).SetRate(0.1, 0)
+	lagged, overlap := 0, 0
+	for s := int64(1); s <= 200; s++ {
+		for p := 0; p < 4; p++ {
+			da, db := a.Delay(s, p), b.Delay(s, p)
+			if da != db {
+				t.Fatalf("same seed diverged at stream %d point %d", s, p)
+			}
+			f := faults.ShouldFail(s, p)
+			if da > 0 {
+				lagged++
+				if f {
+					overlap++
+				}
+			}
+		}
+	}
+	if lagged < 40 || lagged > 120 {
+		t.Fatalf("lag rate 0.1 over 800 points fired %d times", lagged)
+	}
+	// Same seed, distinct salts: the schedules must not be the same set.
+	if overlap == lagged {
+		t.Fatal("lag schedule coincides with fault schedule; salts are not decorrelating")
+	}
+}
+
+func TestLagMaxBoundsDelays(t *testing.T) {
+	in := New(3).SetLag(1, time.Millisecond, 5)
+	fired := 0
+	for s := int64(1); s <= 100; s++ {
+		if in.Delay(s, 0) > 0 {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("lag max 5 fired %d times", fired)
+	}
+}
+
+func TestParseDelaySchedules(t *testing.T) {
+	in, err := Parse("slow@5:1:10ms, stall@9:20ms, lag:0.5:1ms:7", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Delay(5, 1); d != 10*time.Millisecond {
+		t.Fatalf("parsed slow delay = %v", d)
+	}
+	if d := in.Delay(9, 2); d != 20*time.Millisecond {
+		t.Fatalf("parsed stall delay = %v", d)
+	}
+	if in.lagRate != 0.5 || in.lagDur != time.Millisecond || in.lagMax != 7 {
+		t.Fatalf("parsed lag = %v/%v/%d", in.lagRate, in.lagDur, in.lagMax)
+	}
+	for _, bad := range []string{"slow@1:1", "slow@0:1:1ms", "stall@1", "stall@0:1ms", "lag:2:1ms", "lag:0.5", "lag:0.5:x"} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}

@@ -397,6 +397,14 @@ func (rt *Runtime) restoreCheckpoint() {
 // when a sticky error (e.g. OOM during re-mapping) ends recovery.
 func (rt *Runtime) replayLog() (ok bool, failure error) {
 	for _, e := range rt.ft.log {
+		// Replay entries are cooperative cancellation checkpoints: a
+		// deadline that expires mid-replay abandons the rest of the
+		// epoch (the caller discards it via ClearCancel) instead of
+		// holding the worker through a recovery nobody will read.
+		rt.pollCancel()
+		if rt.cancelFired.Load() {
+			return true, nil
+		}
 		if err := rt.replayEntry(e); err != nil {
 			return false, err
 		}
@@ -482,6 +490,7 @@ func (rt *Runtime) replayKernel(l *Launch, ls *launchState, stream int64, point 
 			err = &TaskPanicError{Task: l.name, Point: point, Value: r}
 		}
 	}()
+	rt.injectDelay(stream, point)
 	rt.injectFault(stream, point)
 	ctx := &TaskContext{launch: ls, point: point, subs: subs, reqs: l.reqs, args: l.args}
 	l.kernel(ctx)

@@ -292,6 +292,7 @@ func (rt *Runtime) runFusedPoint(ls *launchState, point int) int64 {
 	var hasPartial bool
 	for mi := range ls.fused {
 		m := &ls.fused[mi]
+		rt.injectDelay(m.stream, point)
 		rt.injectFault(m.stream, point)
 		msubs := subspacesFor(m.reqs, point)
 		ctx := &TaskContext{launch: ls, point: point, subs: msubs, reqs: m.reqs, args: m.args}

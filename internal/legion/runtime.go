@@ -49,6 +49,13 @@ type Runtime struct {
 	// state (see SetTuner). Application-goroutine-only, like domain.
 	tuner any
 
+	// Cooperative cancellation (see cancel.go). cancelCheck is
+	// application-goroutine-only; cancelFired is the lock-free flag
+	// workers poll to skip kernels once the check fires.
+	cancelCheck func() error
+	cancel      cancelState
+	cancelFired atomic.Bool
+
 	mu            sync.Mutex
 	nextRegion    RegionID
 	nextPartition int64
@@ -263,6 +270,7 @@ func (rt *Runtime) Destroy(r *Region) {
 // deaths observed before it returns, so post-fence reads see the same
 // data a fault-free run would produce.
 func (rt *Runtime) Fence() {
+	rt.pollCancel()
 	rt.FlushFusion()
 	rt.pending.Wait()
 	rt.maybeRecover()
@@ -411,6 +419,7 @@ func (rt *Runtime) procForPoint(ls *launchState, p int) machine.ProcID {
 // flushes it. Sequential semantics are preserved either way.
 func (l *Launch) Execute() *Future {
 	rt := l.rt
+	rt.pollCancel()
 	rt.streamPos++
 	l.stream = rt.streamPos
 	var entry *ftLogEntry
@@ -623,7 +632,10 @@ func (rt *Runtime) runPoint(ls *launchState, point int, proc machine.ProcID) {
 	rt.stats.PointTasks.Add(1)
 	subs := subspacesFor(ls.reqs, point)
 	var copyTime time.Duration
-	failed := rt.errSet()
+	// A cancelled stream skips mapping and kernels: points still charge
+	// their timelines and complete, so fences return promptly and the
+	// worker is released instead of computing an abandoned result.
+	failed := rt.errSet() || rt.cancelFired.Load()
 	if !failed {
 		for i, rq := range ls.reqs {
 			res, err := rt.map_.mapRequirement(proc, rq.region, subs[i], rq.priv)
@@ -710,6 +722,7 @@ func (rt *Runtime) execPoint(ls *launchState, point int, subs []geometry.Interva
 	if len(ls.fused) > 0 {
 		return rt.runFusedPoint(ls, point), nil
 	}
+	rt.injectDelay(ls.stream, point)
 	rt.injectFault(ls.stream, point)
 	ctx := &TaskContext{launch: ls, point: point, subs: subs, reqs: ls.reqs, args: ls.args}
 	ls.kernel(ctx)

@@ -127,6 +127,16 @@ const (
 	MarkRestore
 	// MarkProcDeath is a processor retired after a modeled kill.
 	MarkProcDeath
+	// MarkShed is a request rejected by serve admission control (queue
+	// full, quota exhausted, breaker open, or queue wait past the
+	// deadline budget). Task carries the shed code.
+	MarkShed
+	// MarkCancel is a cooperative cancellation that fired: a deadline
+	// expired or a client abandoned its request mid-epoch.
+	MarkCancel
+	// MarkBreaker is a circuit-breaker state transition; Task carries
+	// the new state (open, half-open, closed).
+	MarkBreaker
 )
 
 func (k MarkKind) String() string {
@@ -139,6 +149,12 @@ func (k MarkKind) String() string {
 		return "restore"
 	case MarkProcDeath:
 		return "proc-death"
+	case MarkShed:
+		return "shed"
+	case MarkCancel:
+		return "cancel"
+	case MarkBreaker:
+		return "breaker"
 	default:
 		return "mark?"
 	}

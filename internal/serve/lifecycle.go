@@ -1,0 +1,293 @@
+package serve
+
+// Request-lifecycle machinery: the uniform error envelope, admission
+// control (per-tenant token-bucket quotas, bounded queues, queue-wait
+// shedding), the budgeted retry policy with deterministic jitter, and
+// the per-worker circuit breaker. Together with the runtime's
+// cooperative cancellation (legion/cancel.go) and the fault injector's
+// latency schedules (internal/fault), these bound what overload can do
+// to the service: work is either admitted — and then completes within
+// its deadline budget or is cancelled cleanly — or it is shed up front
+// with a Retry-After the client can act on. See DESIGN.md ("request
+// lifecycle & overload").
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrorResponse is the uniform JSON error envelope every handler
+// returns on a non-2xx status: the human-readable error, a stable
+// machine-readable code, and whether retrying the same request can
+// succeed. Shed responses (429/503) additionally carry a Retry-After
+// header.
+type ErrorResponse struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	Retryable bool   `json:"retryable"`
+}
+
+// Stable error codes of the envelope.
+const (
+	codeBadRequest  = "bad_request"       // malformed request; retry is pointless
+	codeNotFound    = "not_found"         // unknown matrix
+	codeOverQuota   = "over_quota"        // tenant token bucket empty (429)
+	codeQueueFull   = "queue_full"        // worker's bounded queue is full (503)
+	codeQueueWait   = "queue_wait"        // estimated queue wait exceeds the deadline budget (503)
+	codeBreakerOpen = "breaker_open"      // worker's circuit breaker is open (503)
+	codeDraining    = "draining"          // server is shutting down (503)
+	codeDeadline    = "deadline_exceeded" // admitted, but the deadline expired; cancelled cleanly (504)
+	codeCancelled   = "cancelled"         // client abandoned the request mid-flight
+	codeDegraded    = "degraded"          // runtime degraded past the retry budget (503)
+	codeInternal    = "internal"
+)
+
+// writeError writes the envelope. retryAfter > 0 adds a Retry-After
+// header (whole seconds, minimum 1 — the HTTP delta-seconds format).
+func writeError(w http.ResponseWriter, status int, code string, retryable bool, retryAfter time.Duration, err error) {
+	if retryAfter > 0 {
+		secs := int64(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: code, Retryable: retryable})
+}
+
+// degradedError reports a batch group that exhausted its retry budget:
+// every attempt ended with a sticky runtime error.
+type degradedError struct {
+	attempts int
+	cause    error
+}
+
+func (e *degradedError) Error() string {
+	return fmt.Sprintf("runtime degraded on all %d attempts: %v", e.attempts, e.cause)
+}
+
+func (e *degradedError) Unwrap() error { return e.cause }
+
+// ---- per-tenant quotas -------------------------------------------------
+
+// quotas is the per-tenant token-bucket admission gate. Each tenant
+// (the X-Tenant header; "default" when absent) gets an independent
+// bucket refilled at rate tokens/second up to burst; an admission
+// spends one token, and an empty bucket sheds the request with a 429
+// whose Retry-After is the time until the next token.
+type quotas struct {
+	rate  float64
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate float64, burst int) *quotas {
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &quotas{rate: rate, burst: float64(burst), m: map[string]*bucket{}}
+}
+
+// admit spends one token from tenant's bucket. On refusal it returns
+// the wait until a token is available.
+func (q *quotas) admit(tenant string, now time.Time) (time.Duration, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.m[tenant] = b
+	}
+	b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return wait, false
+}
+
+// ---- retry policy ------------------------------------------------------
+
+// retryPolicy is the budgeted retry applied to a degraded batch group:
+// at most attempts total executions, with exponential backoff between
+// them. The jitter is a pure function of (seed, worker, attempt) — the
+// same decorrelation trick the fault injector uses — so a chaos run
+// with a fixed seed retries at reproducible offsets.
+type retryPolicy struct {
+	attempts int           // total executions per group (>= 1)
+	backoff  time.Duration // base backoff before the first retry
+	seed     uint64
+}
+
+// delay returns how long to back off before retry number attempt
+// (0-based: the delay between execution attempt and attempt+1).
+func (p retryPolicy) delay(workerID, attempt int) time.Duration {
+	if p.backoff <= 0 {
+		return 0
+	}
+	base := p.backoff << uint(attempt)
+	if base > time.Second {
+		base = time.Second
+	}
+	// Deterministic jitter in [0.5, 1.0): full backoff scaled by a hash
+	// of the identifying coordinates.
+	h := splitmix64(p.seed ^ uint64(workerID)<<32 ^ uint64(attempt) ^ 0x9e3779b97f4a7c15)
+	frac := 0.5 + 0.5*float64(h>>11)/float64(1<<53)
+	return time.Duration(float64(base) * frac)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ---- circuit breaker ---------------------------------------------------
+
+// breakerState is a circuit breaker's position.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // admitting normally
+	breakerOpen                         // shedding; waiting out the cooldown
+	breakerHalfOpen                     // one probe in flight decides
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "breaker?"
+	}
+}
+
+// breaker is the per-worker circuit breaker. It trips open after
+// threshold consecutive degradations (sticky runtime errors that
+// exhausted the retry budget), sheds admissions while open, and after
+// the cooldown half-opens to admit a single probe: the probe's outcome
+// closes the breaker or re-opens it for another cooldown.
+type breaker struct {
+	threshold int           // consecutive degradations to trip; <= 0 disables
+	cooldown  time.Duration // open -> half-open probe delay
+	notify    func(to breakerState)
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, notify func(breakerState)) *breaker {
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, notify: notify}
+}
+
+// allow decides whether an admission may proceed. When it refuses, the
+// returned duration is the remaining cooldown — the Retry-After hint.
+func (b *breaker) allow(now time.Time) (time.Duration, bool) {
+	if b.threshold <= 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return 0, true
+	case breakerOpen:
+		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return wait, false
+		}
+		b.transition(breakerHalfOpen)
+		b.probing = true
+		return 0, true // the probe
+	default: // half-open
+		if b.probing {
+			return b.cooldown, false // one probe at a time
+		}
+		b.probing = true
+		return 0, true
+	}
+}
+
+// onSuccess records a cleanly served batch group: it resets the failure
+// streak and closes a half-open breaker.
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.transition(breakerClosed)
+	}
+}
+
+// onFailure records a degradation. A half-open probe failure re-opens
+// immediately; a closed breaker opens once the streak hits threshold.
+func (b *breaker) onFailure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.openedAt = now
+		b.transition(breakerOpen)
+	case breakerClosed:
+		if b.fails >= b.threshold {
+			b.openedAt = now
+			b.transition(breakerOpen)
+		}
+	}
+}
+
+// transition flips the state and fires the notify hook. Callers hold
+// b.mu; the hook must not call back into the breaker.
+func (b *breaker) transition(to breakerState) {
+	b.state = to
+	if b.notify != nil {
+		b.notify(to)
+	}
+}
+
+// snapshot returns the current state for /healthz.
+func (b *breaker) snapshot() breakerState {
+	if b.threshold <= 0 {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

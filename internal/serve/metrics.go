@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,11 +32,38 @@ type metrics struct {
 	replacements atomic.Int64
 	retries      atomic.Int64
 
+	// Request-lifecycle counters. sheds is the total; the per-reason
+	// map is guarded by shedMu (bumped on shed paths only, which are
+	// already the slow path).
+	sheds         atomic.Int64
+	shedMu        sync.Mutex
+	shedByReason  map[string]int64
+	queueExpired  atomic.Int64 // jobs whose deadline passed while queued
+	cancellations atomic.Int64 // jobs abandoned at a cooperative cancellation checkpoint
+	breakerTrips  atomic.Int64 // closed/half-open -> open transitions
+
 	classCount [3]atomic.Int64
 	classNS    [3]atomic.Int64
 }
 
-func newMetrics() *metrics { return &metrics{} }
+func newMetrics() *metrics { return &metrics{shedByReason: map[string]int64{}} }
+
+func (m *metrics) noteShed(code string) {
+	m.sheds.Add(1)
+	m.shedMu.Lock()
+	m.shedByReason[code]++
+	m.shedMu.Unlock()
+}
+
+func (m *metrics) shedSnapshot() map[string]int64 {
+	m.shedMu.Lock()
+	defer m.shedMu.Unlock()
+	out := make(map[string]int64, len(m.shedByReason))
+	for k, v := range m.shedByReason {
+		out[k] = v
+	}
+	return out
+}
 
 func (m *metrics) observe(c reqClass, lat time.Duration) {
 	m.classCount[c].Add(1)
@@ -61,9 +89,10 @@ type MetricsSnapshot struct {
 
 	Requests map[string]ClassMetrics `json:"requests"`
 
-	BindingCache CacheMetrics `json:"binding_cache"`
-	Batching     BatchMetrics `json:"batching"`
-	Pool         PoolMetrics  `json:"pool"`
+	BindingCache CacheMetrics     `json:"binding_cache"`
+	Batching     BatchMetrics     `json:"batching"`
+	Pool         PoolMetrics      `json:"pool"`
+	Lifecycle    LifecycleMetrics `json:"lifecycle"`
 
 	// PartitionCache aggregates every live pool runtime's legion cache
 	// counters — the §4.1 partition reuse this server exists to exploit.
@@ -105,6 +134,17 @@ type PoolMetrics struct {
 	Retries      int64 `json:"retries"`
 }
 
+// LifecycleMetrics reports admission control and cancellation: how much
+// load was shed (and why), how many admitted jobs expired in the queue
+// or were cancelled mid-epoch, and breaker activity.
+type LifecycleMetrics struct {
+	Sheds         int64            `json:"sheds"`
+	ShedByReason  map[string]int64 `json:"shed_by_reason"`
+	QueueExpired  int64            `json:"queue_expired"`
+	Cancellations int64            `json:"cancellations"`
+	BreakerTrips  int64            `json:"breaker_trips"`
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.metrics
 	snap := MetricsSnapshot{
@@ -127,6 +167,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Workers:      len(s.workers),
 			Replacements: m.replacements.Load(),
 			Retries:      m.retries.Load(),
+		},
+		Lifecycle: LifecycleMetrics{
+			Sheds:         m.sheds.Load(),
+			ShedByReason:  m.shedSnapshot(),
+			QueueExpired:  m.queueExpired.Load(),
+			Cancellations: m.cancellations.Load(),
+			BreakerTrips:  m.breakerTrips.Load(),
 		},
 	}
 	snap.PlanCache.Variants = distal.Standard.Stats().Variants
@@ -204,12 +251,12 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	}
 	sink, ok := s.sinks[class]
 	if !ok {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown request class %q", class))
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("unknown request class %q", class))
 		return
 	}
 	report := sink.Snapshot().BuildReport()
 	w.Header().Set("Content-Type", "application/json")
 	if err := report.WriteJSON(w); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, true, 0, err)
 	}
 }

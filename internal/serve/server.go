@@ -30,11 +30,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -51,11 +53,24 @@ type Config struct {
 	Kind            string        // "cpu" or "gpu" processors (default cpu)
 	CacheSize       int           // bound matrices kept per worker (default 8)
 	BatchWindow     time.Duration // coalescing window for same-matrix requests (default 2ms; negative disables)
-	Seed            uint64        // fault-injection seed
+	Seed            uint64        // fault-injection seed (also salts retry jitter)
 	Faults          string        // fault.Parse spec applied to every pool runtime
 	CheckpointEvery int           // launches per checkpoint epoch (default 64; 0 disables recovery)
 	ProfCapacity    int           // per-class profiling sink capacity (default 4096)
 	NoTune          bool          // disable per-binding autotuning (decisions pinned to the static mapper)
+
+	// Request-lifecycle knobs (see DESIGN.md "request lifecycle &
+	// overload"). Zero values keep the pre-lifecycle behavior: no
+	// deadline, a 256-deep queue, no quotas, breaker disabled, one
+	// retry.
+	Deadline         time.Duration // per-request deadline budget (0 = none; X-Deadline header overrides)
+	MaxQueue         int           // bounded per-worker queue depth (default 256); a full queue sheds
+	QuotaRate        float64       // per-tenant admissions per second (0 disables quotas)
+	QuotaBurst       int           // per-tenant token-bucket burst (default ceil(QuotaRate), min 1)
+	BreakerThreshold int           // consecutive degradations that trip a worker's breaker (0 disables)
+	BreakerCooldown  time.Duration // open -> half-open probe delay (default 2s)
+	RetryBudget      int           // total executions per degraded batch group (default 2 = one retry)
+	RetryBackoff     time.Duration // base backoff before a retry, exponential with deterministic jitter (default 1ms)
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +95,18 @@ func (c Config) withDefaults() Config {
 	if c.ProfCapacity <= 0 {
 		c.ProfCapacity = 4096
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
 	return c
 }
 
@@ -91,7 +118,13 @@ type Server struct {
 	store   *store
 	workers []*worker
 	metrics *metrics
-	sinks   map[string]*prof.Sink // per request class
+	sinks   map[string]*prof.Sink // per request class, plus "lifecycle"
+
+	start    time.Time // birth; lifecycle marks are stamped relative to it
+	lifeRun  int       // run index of the lifecycle sink
+	quota    *quotas   // nil when quotas are disabled
+	retry    retryPolicy
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	sticky map[core.Fingerprint]int // fingerprint → worker index
@@ -101,6 +134,11 @@ type Server struct {
 
 // request classes, each with its own profiling sink.
 var requestClasses = []string{"solve", "spmv", "eigen"}
+
+// lifecycleClass is the extra sink admission-control events (shed,
+// cancel, breaker transitions) are recorded into, served by
+// GET /profile?class=lifecycle.
+const lifecycleClass = "lifecycle"
 
 // NewServer builds the pool and starts its worker goroutines.
 func NewServer(cfg Config) (*Server, error) {
@@ -117,9 +155,17 @@ func NewServer(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		sinks:   map[string]*prof.Sink{},
 		sticky:  map[core.Fingerprint]int{},
+		start:   time.Now(),
+		retry:   retryPolicy{attempts: cfg.RetryBudget, backoff: cfg.RetryBackoff, seed: cfg.Seed},
 	}
 	for _, class := range requestClasses {
 		s.sinks[class] = prof.NewSink(cfg.ProfCapacity)
+	}
+	life := prof.NewSink(cfg.ProfCapacity)
+	s.sinks[lifecycleClass] = life
+	s.lifeRun = life.AttachRun()
+	if cfg.QuotaRate > 0 {
+		s.quota = newQuotas(cfg.QuotaRate, cfg.QuotaBurst)
 	}
 	for i := 0; i < cfg.Pool; i++ {
 		w := newWorker(i, s)
@@ -127,6 +173,22 @@ func NewServer(cfg Config) (*Server, error) {
 		go w.run()
 	}
 	return s, nil
+}
+
+// lifeMark records one lifecycle event (shed, cancel, breaker flip) on
+// the lifecycle sink's wall-clock timeline. Safe from any goroutine.
+func (s *Server) lifeMark(kind prof.MarkKind, detail string, workerID int) {
+	s.sinks[lifecycleClass].RecordMark(prof.Mark{
+		Run: s.lifeRun, Kind: kind, At: time.Since(s.start),
+		Proc: workerID, Task: detail,
+	})
+}
+
+// shed counts one load-shedding decision and marks it in the lifecycle
+// trace. code is the envelope code the client saw.
+func (s *Server) shed(code string, workerID int) {
+	s.metrics.noteShed(code)
+	s.lifeMark(prof.MarkShed, code, workerID)
 }
 
 // newPoolRuntime builds one pool runtime according to the config: its
@@ -184,9 +246,28 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.draining.Store(true)
 	for _, w := range s.workers {
 		w.close()
 	}
+}
+
+// Drain is the graceful half of shutdown: it stops admitting (new
+// requests shed with a 503 "draining" envelope) and waits up to timeout
+// for every in-flight request to complete. It returns true on a clean
+// drain; false means the timeout expired with work still in flight —
+// the caller should Close anyway and accept the loss. Close is NOT
+// called here so the caller can first stop its HTTP listener.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for s.metrics.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
 }
 
 // FlushCaches empties every worker's binding cache and the associated
@@ -283,7 +364,7 @@ type UploadRequest struct {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, err)
 		return
 	}
 	if req.Solver == "" {
@@ -292,7 +373,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	switch req.Solver {
 	case "cg", "cgs", "bicg", "bicgstab", "gmres":
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown solver %q", req.Solver))
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("unknown solver %q", req.Solver))
 		return
 	}
 	if req.Tol == 0 {
@@ -304,47 +385,47 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Restart <= 0 {
 		req.Restart = 30
 	}
-	s.dispatch(w, classSolve, req.Matrix, req.Format, &req)
+	s.dispatch(w, r, classSolve, req.Matrix, req.Format, &req)
 }
 
 func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	var req SpMVRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, err)
 		return
 	}
-	s.dispatch(w, classSpMV, req.Matrix, req.Format, &req)
+	s.dispatch(w, r, classSpMV, req.Matrix, req.Format, &req)
 }
 
 func (s *Server) handleEigen(w http.ResponseWriter, r *http.Request) {
 	var req EigenRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, err)
 		return
 	}
 	if req.Iters <= 0 {
 		req.Iters = 50
 	}
-	s.dispatch(w, classEigen, req.Matrix, req.Format, &req)
+	s.dispatch(w, r, classEigen, req.Matrix, req.Format, &req)
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	var req UploadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, err)
 		return
 	}
 	if req.Name == "" || req.Rows <= 0 || req.Cols <= 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("upload needs name and positive rows/cols"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("upload needs name and positive rows/cols"))
 		return
 	}
 	if len(req.Row) != len(req.Col) || len(req.Col) != len(req.Val) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("row/col/val lengths differ"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("row/col/val lengths differ"))
 		return
 	}
 	for i := range req.Row {
 		if req.Row[i] < 0 || req.Row[i] >= req.Rows || req.Col[i] < 0 || req.Col[i] >= req.Cols {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("triple %d out of bounds", i))
+			writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("triple %d out of bounds", i))
 			return
 		}
 	}
@@ -362,42 +443,97 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// dispatch resolves the matrix, routes the job to its sticky worker,
-// and waits for the outcome.
-func (s *Server) dispatch(w http.ResponseWriter, class reqClass, matrix, format string, req any) {
+// dispatch runs the full request lifecycle: resolve the matrix, derive
+// the deadline context, pass admission control (drain gate, tenant
+// quota, circuit breaker, queue-wait budget, bounded queue), hand the
+// job to its sticky worker, and wait for the outcome. Every refusal is
+// a shed: an envelope with a stable code and, where retrying can help,
+// a Retry-After hint.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, class reqClass, matrix, format string, req any) {
 	start := time.Now()
 	if matrix == "" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("missing matrix name"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("missing matrix name"))
 		return
+	}
+	if s.draining.Load() {
+		s.shed(codeDraining, -1)
+		writeError(w, http.StatusServiceUnavailable, codeDraining, true, time.Second, errors.New("server draining"))
+		return
+	}
+	budget := s.cfg.Deadline
+	if h := r.Header.Get("X-Deadline"); h != "" {
+		v, err := time.ParseDuration(h)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("bad X-Deadline %q (want a positive Go duration)", h))
+			return
+		}
+		budget = v
 	}
 	d, err := s.store.get(matrix)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, codeNotFound, false, 0, err)
 		return
 	}
 	if format == "" {
 		format = "csr"
 	}
+	// The job's context chains the client connection (abandonment) and
+	// the deadline budget; the worker's cooperative cancellation
+	// checkpoints poll it between legion epochs.
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	if s.quota != nil {
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = "default"
+		}
+		if wait, ok := s.quota.admit(tenant, time.Now()); !ok {
+			s.shed(codeOverQuota, -1)
+			writeError(w, http.StatusTooManyRequests, codeOverQuota, true, wait, fmt.Errorf("tenant %q over quota", tenant))
+			return
+		}
+	}
+	wk := s.route(d.fp)
+	if wait, ok := wk.brk.allow(time.Now()); !ok {
+		s.shed(codeBreakerOpen, wk.id)
+		writeError(w, http.StatusServiceUnavailable, codeBreakerOpen, true, wait, fmt.Errorf("worker %d circuit breaker open", wk.id))
+		return
+	}
+	if budget > 0 {
+		if est := wk.estimateWait(); est > budget {
+			s.shed(codeQueueWait, wk.id)
+			writeError(w, http.StatusServiceUnavailable, codeQueueWait, true, est, fmt.Errorf("estimated queue wait %v exceeds deadline budget %v", est.Round(time.Millisecond), budget))
+			return
+		}
+	}
 	j := &job{
 		class: class, def: d, format: format, req: req,
-		done: make(chan struct{}),
+		ctx: ctx, done: make(chan struct{}),
 	}
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
-	wk := s.route(d.fp)
-	if !wk.submit(j) {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+	switch wk.submit(j) {
+	case submitOK:
+	case submitFull:
+		s.shed(codeQueueFull, wk.id)
+		retry := wk.estimateWait()
+		if retry <= 0 {
+			retry = time.Second
+		}
+		writeError(w, http.StatusServiceUnavailable, codeQueueFull, true, retry, fmt.Errorf("worker %d queue full (%d deep)", wk.id, s.cfg.MaxQueue))
+		return
+	default: // submitClosed
+		s.shed(codeDraining, wk.id)
+		writeError(w, http.StatusServiceUnavailable, codeDraining, true, time.Second, errors.New("server shutting down"))
 		return
 	}
 	<-j.done
 	if j.err != nil {
-		var ce clientError
-		if errors.As(j.err, &ce) {
-			httpError(w, http.StatusBadRequest, j.err)
-		} else {
-			httpError(w, http.StatusServiceUnavailable, j.err)
-			s.metrics.failures.Add(1)
-		}
+		s.respondError(w, j.err)
 		return
 	}
 	lat := time.Since(start)
@@ -406,14 +542,88 @@ func (s *Server) dispatch(w http.ResponseWriter, class reqClass, matrix, format 
 	writeJSON(w, j.resp)
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"ok": true, "pool": len(s.workers)})
+// respondError maps a job failure onto the envelope: client errors are
+// 400s, expired deadlines are 504s (the work was cancelled cleanly at a
+// cooperative checkpoint), abandoned connections are recorded as
+// cancelled, and runtime degradations past the retry budget are
+// retryable 503s.
+func (s *Server) respondError(w http.ResponseWriter, err error) {
+	var ce clientError
+	var de *degradedError
+	switch {
+	case errors.As(err, &ce):
+		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, codeDeadline, true, 0, err)
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the logs.
+		writeError(w, http.StatusServiceUnavailable, codeCancelled, false, 0, err)
+	case errors.As(err, &de):
+		s.metrics.failures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, codeDegraded, true, time.Second, err)
+	default:
+		s.metrics.failures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, codeInternal, true, 0, err)
+	}
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+// WorkerHealth is one worker's row in the /healthz report.
+type WorkerHealth struct {
+	ID      int    `json:"id"`
+	Procs   int    `json:"procs"`   // live processors on the current runtime
+	Healthy bool   `json:"healthy"` // no sticky error, full processor count
+	Breaker string `json:"breaker"` // closed | open | half-open
+	Queued  int    `json:"queued"`  // jobs waiting in the bounded queue
+}
+
+// HealthSnapshot is the body of GET /healthz. OK is false — and the
+// status 503, so a load balancer rotates the instance out — when the
+// server is draining or when every worker's breaker is open.
+type HealthSnapshot struct {
+	OK           bool           `json:"ok"`
+	Draining     bool           `json:"draining"`
+	Pool         int            `json:"pool"`
+	Healthy      int            `json:"healthy"`
+	Degraded     int            `json:"degraded"`     // workers below full strength right now
+	Replacements int64          `json:"replacements"` // runtimes replaced over the server's lifetime
+	BreakerTrips int64          `json:"breaker_trips"`
+	Workers      []WorkerHealth `json:"workers"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	snap := HealthSnapshot{
+		Pool:         len(s.workers),
+		Draining:     s.draining.Load(),
+		Replacements: s.metrics.replacements.Load(),
+		BreakerTrips: s.metrics.breakerTrips.Load(),
+	}
+	allOpen := s.cfg.BreakerThreshold > 0
+	for _, wk := range s.workers {
+		wh := WorkerHealth{ID: wk.id, Queued: int(wk.queued.Load())}
+		if rt := wk.rtPub.Load(); rt != nil {
+			wh.Procs = rt.NumProcs()
+			wh.Healthy = rt.Err() == nil && wh.Procs >= s.cfg.Procs
+		}
+		st := wk.brk.snapshot()
+		wh.Breaker = st.String()
+		if st != breakerOpen {
+			allOpen = false
+		}
+		if wh.Healthy {
+			snap.Healthy++
+		} else {
+			snap.Degraded++
+		}
+		snap.Workers = append(snap.Workers, wh)
+	}
+	snap.OK = !snap.Draining && !allOpen
+	if !snap.OK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(snap)
+		return
+	}
+	writeJSON(w, snap)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

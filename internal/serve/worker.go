@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,9 +12,14 @@ import (
 	"repro/internal/cunumeric"
 	"repro/internal/distal"
 	"repro/internal/legion"
+	"repro/internal/prof"
 	"repro/internal/solvers"
 	"repro/internal/tune"
 )
+
+// errShutdown is the failure a queued job receives when its worker
+// closes before serving it; dispatch maps it to a retryable 503.
+var errShutdown = errors.New("serve: worker shutting down")
 
 // clientError marks a request as malformed (bad format, wrong-length
 // vector). It must NOT trigger the degradation protocol: the runtime is
@@ -47,20 +53,45 @@ func (c reqClass) String() string {
 }
 
 // job is one in-flight request, handed from an HTTP handler goroutine
-// to a worker and back through the done channel.
+// to a worker and back through the done channel. ctx is the request's
+// lifecycle: it chains the client connection and the deadline budget,
+// and the runtime's cooperative cancellation checkpoints poll it.
 type job struct {
 	class  reqClass
 	def    *matrixDef
 	format string
 	req    any
+	ctx    context.Context // nil = never cancelled
 
 	resp     any
 	err      error
 	cacheHit bool
 	batched  int
 	workerID int
-	retried  bool
+	finished bool // worker-goroutine only; guards double completion
 	done     chan struct{}
+}
+
+// ctxErr returns the job's cancellation cause, or nil while it is live.
+func (j *job) ctxErr() error {
+	if j.ctx == nil {
+		return nil
+	}
+	return j.ctx.Err()
+}
+
+// complete finishes the job exactly once. Worker goroutine only: a
+// cancelled job completes mid-batch, and the group-level finish that
+// follows must not close done a second time.
+func (j *job) complete(err error) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	if err != nil {
+		j.err = err
+	}
+	close(j.done)
 }
 
 // finalize stamps the transport-level fields into the response after
@@ -124,6 +155,14 @@ type worker struct {
 	// are safe from any goroutine.
 	reg *distal.Scoped
 
+	// Admission-control state. brk is this worker's circuit breaker;
+	// queued tracks jobs waiting in the bounded jobs channel; svcEWMA is
+	// the smoothed per-job service time (ns) that prices the queue for
+	// the queue-wait shed decision. All safe from any goroutine.
+	brk     *breaker
+	queued  atomic.Int64
+	svcEWMA atomic.Int64
+
 	// Worker-goroutine state below; never touched from outside.
 	rt       *legion.Runtime
 	bindings map[bindKey]*binding
@@ -142,29 +181,76 @@ func (w *worker) cacheStats() legion.CacheStats {
 }
 
 func newWorker(id int, s *Server) *worker {
-	return &worker{
+	w := &worker{
 		id:      id,
 		srv:     s,
-		jobs:    make(chan *job, 256),
+		jobs:    make(chan *job, s.cfg.MaxQueue),
 		control: make(chan func(), 8),
 		quitCh:  make(chan struct{}),
 		reg:     distal.Standard.Scoped(),
 	}
+	w.brk = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, func(to breakerState) {
+		if to == breakerOpen {
+			s.metrics.breakerTrips.Add(1)
+		}
+		s.lifeMark(prof.MarkBreaker, to.String(), id)
+	})
+	return w
 }
 
-// submit hands a job to the worker; false once the server is closing.
-func (w *worker) submit(j *job) bool {
+// submitResult is the outcome of handing a job to a worker.
+type submitResult int
+
+const (
+	submitOK     submitResult = iota
+	submitFull                // bounded queue full: shed
+	submitClosed              // worker shutting down
+)
+
+// submit enqueues a job without blocking: the queue is the admission
+// controller's bound, so a full queue is a shed decision for the
+// caller, not a wait.
+func (w *worker) submit(j *job) submitResult {
 	select {
 	case <-w.quitCh:
-		return false
+		return submitClosed
 	default:
 	}
 	select {
 	case w.jobs <- j:
-		return true
+		w.queued.Add(1)
+		return submitOK
 	case <-w.quitCh:
-		return false
+		return submitClosed
+	default:
+		return submitFull
 	}
+}
+
+// estimateWait prices the queue: jobs ahead times the smoothed per-job
+// service time. Zero while there is no history — admission stays open
+// until the estimator has something to go on.
+func (w *worker) estimateWait() time.Duration {
+	ewma := w.svcEWMA.Load()
+	if ewma <= 0 {
+		return 0
+	}
+	return time.Duration(w.queued.Load() * ewma)
+}
+
+// observeService feeds one batch's wall-clock cost into the per-job
+// service-time EWMA (alpha 1/4).
+func (w *worker) observeService(d time.Duration, jobs int) {
+	if jobs <= 0 {
+		return
+	}
+	per := d.Nanoseconds() / int64(jobs)
+	old := w.svcEWMA.Load()
+	if old == 0 {
+		w.svcEWMA.Store(per)
+		return
+	}
+	w.svcEWMA.Store(old + (per-old)/4)
 }
 
 // flush empties the binding cache (and the runtime caches behind it)
@@ -240,12 +326,24 @@ func (w *worker) close() {
 }
 
 // run is the worker goroutine: build the runtime, then serve batches
-// until the server closes.
+// until the server closes. On close, jobs still queued are failed with
+// errShutdown rather than abandoned, so no handler ever hangs on a
+// done channel nobody will close.
 func (w *worker) run() {
 	w.rt = w.srv.newPoolRuntime()
 	w.rtPub.Store(w.rt)
 	w.bindings = map[bindKey]*binding{}
 	defer func() {
+		for {
+			select {
+			case j := <-w.jobs:
+				w.queued.Add(-1)
+				j.complete(errShutdown)
+				continue
+			default:
+			}
+			break
+		}
 		w.dropAllBindings()
 		w.rt.Shutdown()
 	}()
@@ -256,6 +354,7 @@ func (w *worker) run() {
 		case f := <-w.control:
 			f()
 		case j := <-w.jobs:
+			w.queued.Add(-1)
 			w.serveBatch(w.collectBatch(j))
 		}
 	}
@@ -274,6 +373,7 @@ func (w *worker) collectBatch(first *job) []*job {
 	for {
 		select {
 		case j := <-w.jobs:
+			w.queued.Add(-1)
 			batch = append(batch, j)
 		case <-timer.C:
 			return batch
@@ -283,15 +383,23 @@ func (w *worker) collectBatch(first *job) []*job {
 	}
 }
 
-// serveBatch groups a batch by (matrix, format) and runs each group as
-// one epoch on the warm runtime, replacing the runtime and retrying
-// once if it degrades.
+// serveBatch expires jobs whose deadline passed while they were
+// queued, groups the rest by (matrix, format), and runs each group as
+// one epoch on the warm runtime under the retry policy.
 func (w *worker) serveBatch(batch []*job) {
 	w.dropStaleBindings()
 	// Group jobs by binding key, preserving arrival order of groups.
 	var order []bindKey
 	groups := map[bindKey][]*job{}
 	for _, j := range batch {
+		if err := j.ctxErr(); err != nil {
+			// Expired in the queue: never admitted to a runtime, so
+			// there is nothing to cancel — just answer.
+			w.srv.metrics.queueExpired.Add(1)
+			w.srv.lifeMark(prof.MarkCancel, "queue-expired", w.id)
+			j.complete(err)
+			continue
+		}
 		k := bindKey{fp: j.def.fp, format: j.format}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
@@ -301,55 +409,112 @@ func (w *worker) serveBatch(batch []*job) {
 	for _, k := range order {
 		group := groups[k]
 		w.srv.metrics.noteBatch(len(group))
+		t0 := time.Now()
 		w.runGroup(k, group)
+		w.observeService(time.Since(t0), len(group))
 	}
 }
 
-// runGroup executes one same-binding group as a single epoch and
-// applies the degradation protocol afterwards.
+// runGroup executes one same-binding group under the retry policy:
+// each degraded attempt (sticky runtime error) replaces the runtime,
+// feeds the circuit breaker, and backs off with deterministic jitter
+// before the next attempt — until the budget is spent or every job's
+// deadline is gone.
 func (w *worker) runGroup(k bindKey, group []*job) {
-	err := w.runGroupOnce(k, group)
-	var ce clientError
-	if errors.As(err, &ce) && w.rt.Err() == nil {
-		w.finish(group, err)
-		return
-	}
-	if err == nil && w.rt.Err() == nil {
-		healthy := w.rt.NumProcs() >= w.srv.cfg.Procs
-		w.finish(group, nil)
-		if !healthy {
-			// Processor death mid-epoch: checkpoint recovery already
-			// re-homed the work, so results are valid — but the shrunken
-			// runtime would serve degraded from here on. Replace it
-			// after responding.
-			w.replaceRuntime()
+	for attempt := 1; ; attempt++ {
+		err := w.runGroupOnce(k, group)
+		var ce clientError
+		if errors.As(err, &ce) && w.rt.Err() == nil {
+			w.finish(group, err)
+			return
 		}
-		return
+		if err == nil && w.rt.Err() == nil {
+			w.brk.onSuccess()
+			healthy := w.rt.NumProcs() >= w.srv.cfg.Procs
+			w.finish(group, nil)
+			if !healthy {
+				// Processor death mid-epoch: checkpoint recovery already
+				// re-homed the work, so results are valid — but the shrunken
+				// runtime would serve degraded from here on. Replace it
+				// after responding.
+				w.replaceRuntime()
+			}
+			return
+		}
+		if err == nil {
+			err = w.rt.Err()
+		}
+		// Degraded epoch: sticky runtime error (recovery abandoned,
+		// modeled OOM, all processors lost). Results are suspect —
+		// discard them and replace the runtime.
+		w.replaceRuntime()
+		w.brk.onFailure(time.Now())
+		if attempt >= w.srv.retry.attempts || groupExpired(group) {
+			w.finish(group, &degradedError{attempts: attempt, cause: err})
+			return
+		}
+		w.srv.metrics.retries.Add(1)
+		if d := w.srv.retry.delay(w.id, attempt-1); d > 0 {
+			time.Sleep(d)
+		}
 	}
-	if err == nil {
-		err = w.rt.Err()
-	}
-	// Degraded epoch: sticky runtime error (recovery abandoned, modeled
-	// OOM, all processors lost). Results are suspect — discard them,
-	// replace the runtime, and retry the whole group once on the fresh
-	// one.
-	w.replaceRuntime()
-	if group[0].retried {
-		w.finish(group, fmt.Errorf("runtime degraded twice serving batch: %v", err))
-		return
-	}
-	w.srv.metrics.retries.Add(1)
+}
+
+// groupExpired reports whether every unfinished job in the group has a
+// dead context — retrying then would compute results nobody can read.
+func groupExpired(group []*job) bool {
 	for _, j := range group {
-		j.retried = true
+		if !j.finished && j.ctxErr() == nil {
+			return false
+		}
 	}
-	w.runGroup(k, group)
+	return true
+}
+
+// cancelJob completes a job that hit a cooperative cancellation
+// checkpoint (deadline expired or client gone) and accounts for it.
+func (w *worker) cancelJob(j *job) {
+	w.srv.metrics.cancellations.Add(1)
+	w.srv.lifeMark(prof.MarkCancel, j.class.String(), w.id)
+	err := j.ctxErr()
+	if err == nil {
+		err = context.Canceled
+	}
+	j.complete(err)
+}
+
+// groupCancelCheck builds the cooperative cancellation check for a
+// coalesced phase: it fires only when EVERY job sharing the epoch has
+// been abandoned, because skipping kernels would corrupt the results of
+// any job still waiting.
+func groupCancelCheck(jobs []*job) func() error {
+	return func() error {
+		var first error
+		for _, j := range jobs {
+			err := j.ctxErr()
+			if err == nil {
+				return nil
+			}
+			if first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 }
 
 // runGroupOnce binds the matrix and runs every job of the group inside
 // one fused launch-stream epoch: SpMV jobs issue their launches first
 // and fence once (independent outputs overlap in the stream), then
 // solver/eigen jobs run back to back on the still-warm caches.
+//
+// Cancellation is per-phase. The coalesced SpMV phase shares one epoch,
+// so its cancel check fires only when every SpMV job is abandoned;
+// solve/eigen jobs run one at a time, so each installs its own context
+// as the check and a cancellation costs only that job — ClearCancel
+// re-arms the runtime and the rest of the group proceeds.
 func (w *worker) runGroupOnce(k bindKey, group []*job) (err error) {
+	defer w.rt.SetCancelCheck(nil)
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serving %s/%s: %v", group[0].def.name, k.format, r)
@@ -367,6 +532,9 @@ func (w *worker) runGroupOnce(k bindKey, group []*job) (err error) {
 		w.rt.SetTuner(b.tuner)
 	}
 	for _, j := range group {
+		if j.finished {
+			continue
+		}
 		j.cacheHit = hit
 		j.batched = len(group)
 		j.workerID = w.id
@@ -378,34 +546,66 @@ func (w *worker) runGroupOnce(k bindKey, group []*job) (err error) {
 	}
 
 	var collect []func()
+	var spmvJobs []*job
 	sharedYFree := true
 	for _, j := range group {
-		switch j.class {
-		case classSpMV:
-			c, err := w.issueSpMV(b, j, sharedYFree)
-			if err != nil {
-				return err
-			}
-			sharedYFree = false
-			collect = append(collect, c)
+		if j.finished || j.class != classSpMV {
+			continue
 		}
+		spmvJobs = append(spmvJobs, j)
+		c, err := w.issueSpMV(b, j, sharedYFree)
+		if err != nil {
+			return err
+		}
+		sharedYFree = false
+		collect = append(collect, c)
 	}
 	if len(collect) > 0 {
+		w.rt.SetCancelCheck(groupCancelCheck(spmvJobs))
 		w.rt.Fence() // one epoch boundary for every coalesced SpMV
-		for _, c := range collect {
-			c()
+		w.rt.SetCancelCheck(nil)
+		if w.rt.Cancelled() != nil {
+			// Every coalesced SpMV was abandoned; the epoch's outputs are
+			// unspecified, so skip collection entirely.
+			w.rt.ClearCancel()
+			for _, j := range spmvJobs {
+				w.cancelJob(j)
+			}
+		} else {
+			for _, c := range collect {
+				c()
+			}
 		}
 	}
 	for _, j := range group {
-		switch j.class {
-		case classSolve:
-			if err := w.runSolve(b, j); err != nil {
-				return err
-			}
-		case classEigen:
-			if err := w.runEigen(b, j); err != nil {
-				return err
-			}
+		if j.finished || (j.class != classSolve && j.class != classEigen) {
+			continue
+		}
+		if cerr := j.ctxErr(); cerr != nil {
+			// Dead before its turn came up inside the batch: skip the
+			// compute, keep the worker.
+			w.cancelJob(j)
+			continue
+		}
+		if j.ctx != nil {
+			w.rt.SetCancelCheck(j.ctx.Err)
+		}
+		var rerr error
+		if j.class == classSolve {
+			rerr = w.runSolve(b, j)
+		} else {
+			rerr = w.runEigen(b, j)
+		}
+		w.rt.SetCancelCheck(nil)
+		if w.rt.Cancelled() != nil {
+			// The deadline fired mid-solve: discard the interrupted epoch
+			// and answer this job; the runtime stays warm for the rest.
+			w.rt.ClearCancel()
+			w.cancelJob(j)
+			continue
+		}
+		if rerr != nil {
+			return rerr
 		}
 	}
 	w.rt.Fence()
@@ -529,12 +729,11 @@ func (w *worker) replaceRuntime() {
 	w.srv.metrics.replacements.Add(1)
 }
 
+// finish completes every job of the group that has not already been
+// answered (cancelled jobs complete individually mid-batch).
 func (w *worker) finish(group []*job, err error) {
 	for _, j := range group {
-		if err != nil {
-			j.err = err
-		}
-		close(j.done)
+		j.complete(err)
 	}
 }
 

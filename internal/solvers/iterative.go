@@ -78,9 +78,22 @@ func (res *Result) finish(rt *legion.Runtime) *Result {
 	if err := rt.Err(); err != nil {
 		res.Err = err
 		res.Converged = false
+	} else if err := rt.Cancelled(); err != nil {
+		// Kernels were skipped from the cancellation point on, so any
+		// numeric state (including an apparent zero residual) is
+		// meaningless; the cancellation outranks it.
+		res.Err = err
+		res.Converged = false
 	}
 	return res
 }
+
+// stopped reports whether the launch stream has been cooperatively
+// cancelled. Iteration loops poll it so a timed-out or abandoned solve
+// stops at the next iteration boundary instead of spinning through
+// skipped kernels (whose futures read as zeros and could otherwise fake
+// convergence or a breakdown).
+func stopped(rt *legion.Runtime) bool { return rt.Cancelled() != nil }
 
 // CG solves the SPD system A x = b with the conjugate-gradient method,
 // the solver of the paper's Figure 9 benchmark. Work buffers are reused
@@ -98,7 +111,7 @@ func CG(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Resu
 
 	res := &Result{X: x}
 	rs := cunumeric.Dot(r, r).Get()
-	for it := 0; it < maxIter; it++ {
+	for it := 0; it < maxIter && !stopped(rt); it++ {
 		a.SpMVInto(ap, p)
 		pap := cunumeric.Dot(p, ap).Get()
 		if pap == 0 {
@@ -149,7 +162,7 @@ func CGS(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Res
 
 	res := &Result{X: x}
 	rho := cunumeric.Dot(rTilde, r).Get()
-	for it := 0; it < maxIter; it++ {
+	for it := 0; it < maxIter && !stopped(rt); it++ {
 		if rho == 0 {
 			res.breakdown("cgs", "rho = r̃·r = 0")
 			break
@@ -216,7 +229,7 @@ func BiCG(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64) *Re
 
 	res := &Result{X: x}
 	rho := cunumeric.Dot(rTilde, r).Get()
-	for it := 0; it < maxIter; it++ {
+	for it := 0; it < maxIter && !stopped(rt); it++ {
 		if rho == 0 {
 			res.breakdown("bicg", "rho = r̃·r = 0")
 			break
@@ -272,7 +285,7 @@ func BiCGSTAB(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64)
 
 	res := &Result{X: x}
 	rho := cunumeric.Dot(rHat, r).Get()
-	for it := 0; it < maxIter; it++ {
+	for it := 0; it < maxIter && !stopped(rt); it++ {
 		if rho == 0 {
 			res.breakdown("bicgstab", "rho = r̂·r = 0")
 			break
@@ -357,7 +370,7 @@ func GMRES(a core.SparseMatrix, b *cunumeric.Array, restart, maxIter int, tol fl
 	sn := make([]float64, restart)
 	g := make([]float64, restart+1)
 
-	for res.Iterations < maxIter {
+	for res.Iterations < maxIter && !stopped(rt) {
 		// r = b - A x
 		a.SpMVInto(r, x)
 		cunumeric.AXPBY(1, b, -1, r)
@@ -453,7 +466,7 @@ func PowerIteration(a core.SparseMatrix, iters int, seed uint64) (float64, *cunu
 	n := a.Rows()
 	x := cunumeric.Random(rt, n, seed)
 	y := cunumeric.Zeros(rt, n)
-	for i := 0; i < iters; i++ {
+	for i := 0; i < iters && !stopped(rt); i++ {
 		a.SpMVInto(y, x)
 		nrm := cunumeric.Norm(y)
 		if nrm == 0 {

@@ -31,7 +31,7 @@ func PCGJacobi(a core.SparseMatrix, b *cunumeric.Array, maxIter int, tol float64
 
 	res := &Result{X: x}
 	rz := cunumeric.Dot(r, z).Get()
-	for it := 0; it < maxIter; it++ {
+	for it := 0; it < maxIter && !stopped(rt); it++ {
 		a.SpMVInto(ap, p)
 		den := cunumeric.Dot(p, ap).Get()
 		if den == 0 {
