@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-fusion bench-serve bench-tune bench-json chaos overload prof serve tune docs links
+.PHONY: check fmt vet build test race bench-fusion bench-serve bench-tune bench-json chaos overload prof serve shard boundary tune docs links
 
 # check is the full pre-merge gate: formatting, static analysis, build,
 # the race-enabled test suite (including the legate-serve e2e suite),
 # the fault-injection suite, the overload-chaos lifecycle suite, the
-# feedback-directed mapping suite, one pass over the fusion, serve, and
-# tune wall-clock benchmarks (compile + run, not a timing study — use
-# `go test -bench` directly with a real -benchtime for numbers), the
-# legate-prof artifact smoke test, and the documentation gates.
-check: fmt vet build race chaos overload tune bench-fusion bench-serve bench-tune prof docs links
+# shard scatter/gather bit-identity suite, the feedback-directed
+# mapping suite, one pass over the fusion, serve, and tune wall-clock
+# benchmarks (compile + run, not a timing study — use `go test -bench`
+# directly with a real -benchtime for numbers), the legate-prof
+# artifact smoke test, the engine/transport boundary check, and the
+# documentation gates.
+check: fmt vet build race chaos overload shard tune bench-fusion bench-serve bench-tune prof boundary docs links
 
 # fmt fails (and lists offenders) if any file is not gofmt-clean.
 fmt:
@@ -41,14 +43,29 @@ chaos:
 # Retry-After envelopes, the circuit-breaker lifecycle, graceful drain,
 # the mixed-traffic chaos run, and the goroutine-leak check.
 overload:
-	$(GO) test -race -count=1 -run 'Overload' ./internal/serve/
+	$(GO) test -race -count=1 -run 'Overload' ./internal/serve/...
 
 # serve runs the legate-serve end-to-end suite on its own (it is also
 # part of `race`): served results bit-identical to direct solver calls,
 # 64-way concurrency under fault injection, cache invalidation on
 # re-upload, pool replacement on processor death, batching coalescing.
 serve:
-	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 ./internal/serve/...
+
+# shard runs the scatter/gather execution-plane chaos suite under the
+# race detector: a 2-shard deployment bit-identical to a single-process
+# engine for every preset (CG, power iteration, SpMV), replica failover
+# under seeded fault injection with the same bit-identity, coordinator
+# drain, passthrough routing, and the partition/ring/reduction-fold
+# unit invariants.
+shard:
+	$(GO) test -race -count=1 -run 'Shard' ./internal/shard/
+
+# boundary fails the build if the engine or shard packages grow a
+# dependency on net/http or encoding/json — the line that keeps every
+# transport thin and the solver plane wire-format agnostic.
+boundary:
+	./scripts/check_boundary.sh
 
 # tune runs the feedback-directed mapping suite under the race detector
 # (tuned results bit-identical to the static mapper, including under
@@ -62,7 +79,7 @@ bench-fusion:
 	$(GO) test -run=NONE -bench=BenchmarkFusion -benchtime=1x ./...
 
 bench-serve:
-	$(GO) test -run=NONE -bench=BenchmarkServe -benchtime=1x ./internal/serve/
+	$(GO) test -run=NONE -bench=BenchmarkServe -benchtime=1x ./internal/serve/...
 
 bench-tune:
 	$(GO) test -run=NONE -bench=BenchmarkTune -benchtime=1x .
@@ -79,6 +96,14 @@ bench-json:
 # as machine-readable records stamped with the current commit.
 bench-json-serve:
 	$(GO) run ./cmd/legate-bench -exp serve -json BENCH_pr7.json \
+		-commit $$(git rev-parse --short HEAD)
+
+# bench-json-shard regenerates BENCH_pr9.json: the sharded-serve
+# scaling sweep — warm CG and the GMG-style V-cycle SpMV ladder at 1,
+# 2, and 4 shards against the single-process baseline — as
+# machine-readable records stamped with the current commit.
+bench-json-shard:
+	$(GO) run ./cmd/legate-bench -exp shard -json BENCH_pr9.json \
 		-commit $$(git rev-parse --short HEAD)
 
 # docs fails if any package lacks a package-level doc comment, or if

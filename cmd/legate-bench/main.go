@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	legate-bench -exp spmv|cg|gmg|quantum|mf|recovery|tune|serve|all [-preset small|paper]
+//	legate-bench -exp spmv|cg|gmg|quantum|mf|recovery|tune|serve|shard|all [-preset small|paper]
 //	             [-units N] [-iters N] [-runs N] [-mfscale N]
 //	             [-seed N] [-faults SPEC] [-checkpoint-every N]
 //	             [-tune] [-tune-presets LIST] [-json PATH] [-commit ID]
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: spmv, cg, gmg, quantum, mf, ablation, recovery, serve, or all")
+	exp := flag.String("exp", "all", "experiment: spmv, cg, gmg, quantum, mf, ablation, recovery, serve, shard, or all")
 	preset := flag.String("preset", "small", "option preset: small or paper")
 	units := flag.Int64("units", 0, "override units (rows/dimensions) per processor")
 	iters := flag.Int("iters", 0, "override timed iterations per run")
@@ -197,6 +197,26 @@ func main() {
 					benchRecord{Preset: r.Name, Metric: "p50_latency_ms", Value: float64(r.P50Lat) / float64(time.Millisecond), Commit: *commit},
 					benchRecord{Preset: r.Name, Metric: "p99_latency_ms", Value: float64(r.P99Lat) / float64(time.Millisecond), Commit: *commit},
 					benchRecord{Preset: r.Name, Metric: "shed_rate", Value: r.ShedRate, Commit: *commit},
+				)
+			}
+			if err := writeBenchJSON(*jsonOut, records); err != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d records -> %s\n", len(records), *jsonOut)
+		}
+	case "shard":
+		t0 := time.Now()
+		results := bench.ShardedServeLoad(opt)
+		fmt.Printf("%s(generated in %v)\n\n", bench.FormatShardLoad(results), time.Since(t0).Round(time.Millisecond))
+		if *jsonOut != "" {
+			var records []benchRecord
+			for _, r := range results {
+				records = append(records,
+					benchRecord{Preset: r.Name, Metric: "throughput_req_per_sec", Value: r.Throughput, Commit: *commit},
+					benchRecord{Preset: r.Name, Metric: "p50_latency_ms", Value: float64(r.P50Lat) / float64(time.Millisecond), Commit: *commit},
+					benchRecord{Preset: r.Name, Metric: "p99_latency_ms", Value: float64(r.P99Lat) / float64(time.Millisecond), Commit: *commit},
+					benchRecord{Preset: r.Name, Metric: "comms_kib", Value: float64(r.CommsBytes) / 1024, Commit: *commit},
 				)
 			}
 			if err := writeBenchJSON(*jsonOut, records); err != nil {

@@ -8,14 +8,22 @@
 //	legate-serve -addr :8080 -pool 2 -procs 4 -kind cpu
 //	             [-deadline 0] [-max-queue 256] [-quota RATE[:BURST]]
 //	             [-breaker N] [-breaker-cooldown 2s] [-drain 10s]
+//	             [-shards N] [-replicas R]
+//
+// With -shards > 1 the binary runs N in-process engine instances behind
+// one scatter/gather coordinator (internal/shard): uploads are
+// partitioned into nnz-balanced row blocks placed by consistent hashing
+// over content fingerprints, CG/SpMV/power-iteration execute
+// distributed with bit-identical results, and -replicas controls how
+// many engines can answer for each block when one degrades.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the server stops admitting
 // (new requests shed 503 "draining"), in-flight requests get up to
 // -drain to complete, then the pool is torn down.
 //
-// See README.md ("legate-serve quickstart") for curl examples and the
-// full flags table, and ARCHITECTURE.md for how a request flows through
-// the runtime.
+// See README.md ("legate-serve quickstart" and "sharded serve") for
+// curl examples and the full flags table, and ARCHITECTURE.md for how a
+// request flows through the engine/transport/shard split.
 package main
 
 import (
@@ -32,7 +40,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/serve"
+	"repro/internal/serve/engine"
+	"repro/internal/serve/httpapi"
+	"repro/internal/shard"
 )
 
 // parseQuota parses -quota's RATE[:BURST] form.
@@ -60,7 +70,7 @@ func parseQuota(spec string) (float64, int, error) {
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		pool        = flag.Int("pool", 2, "warm runtimes in the pool")
+		pool        = flag.Int("pool", 2, "warm runtimes in the pool (per shard when -shards > 1)")
 		procs       = flag.Int("procs", 4, "processors per pool runtime")
 		kind        = flag.String("kind", "cpu", "processor kind: cpu or gpu")
 		cacheSize   = flag.Int("cache-size", 8, "bound matrices cached per worker (LRU)")
@@ -77,6 +87,8 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open -> half-open probe delay")
 		retries     = flag.Int("retry-budget", 2, "total executions per degraded batch group")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		shards      = flag.Int("shards", 1, "in-process engine shards behind a scatter/gather coordinator (1 = single-process)")
+		replicas    = flag.Int("replicas", 2, "engines that can answer for each row block when a shard degrades (capped at -shards)")
 	)
 	flag.Parse()
 
@@ -86,7 +98,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := serve.NewServer(serve.Config{
+	ecfg := engine.Config{
 		Pool:             *pool,
 		Procs:            *procs,
 		Kind:             *kind,
@@ -104,17 +116,33 @@ func main() {
 		BreakerThreshold: *brkN,
 		BreakerCooldown:  *brkCooldown,
 		RetryBudget:      *retries,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "legate-serve:", err)
-		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// One Backend serves both deployments: the transport only sees the
+	// interface, so -shards swaps the engine for a coordinator without
+	// touching a single handler.
+	var backend engine.Backend
+	if *shards > 1 {
+		c, err := shard.New(shard.Config{Shards: *shards, Replicas: *replicas, Engine: ecfg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "legate-serve:", err)
+			os.Exit(1)
+		}
+		backend = c
+	} else {
+		e, err := engine.New(ecfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "legate-serve:", err)
+			os.Exit(1)
+		}
+		backend = e
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: httpapi.Handler(backend)}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("legate-serve: listening on %s (pool=%d procs=%d kind=%s cache=%d batch-window=%v deadline=%v max-queue=%d)",
-			*addr, *pool, *procs, *kind, *cacheSize, *batchWindow, *deadline, *maxQueue)
+		log.Printf("legate-serve: listening on %s (shards=%d pool=%d procs=%d kind=%s cache=%d batch-window=%v deadline=%v max-queue=%d)",
+			*addr, *shards, *pool, *procs, *kind, *cacheSize, *batchWindow, *deadline, *maxQueue)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -122,21 +150,21 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errCh:
-		s.Close()
+		backend.Close()
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: shed new admissions, give in-flight work its
-	// drain budget, stop the listener, then tear down the pool.
+	// drain budget, stop the listener, then tear down the pool(s).
 	log.Printf("legate-serve: shutting down (drain budget %v)", *drain)
-	clean := s.Drain(*drain)
+	clean := backend.Drain(*drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("legate-serve: http shutdown: %v", err)
 	}
-	s.Close()
+	backend.Close()
 	if clean {
 		log.Printf("legate-serve: drained cleanly")
 	} else {

@@ -54,12 +54,20 @@
 //
 // Services and tools:
 //
-//	internal/serve       the legate-serve solver service core
-//	internal/bench       figure/table regeneration and load tests
+//	internal/serve/engine    the legate-serve solver engine: typed
+//	                         request/response API, warm runtime pool,
+//	                         admission control (wire-format agnostic)
+//	internal/serve/httpapi   the HTTP JSON transport over any Backend
+//	internal/serve/loopback  the in-process deep-copy transport
+//	internal/shard           multi-shard scatter/gather execution plane:
+//	                         nnz-balanced row blocks, consistent-hash
+//	                         placement, bit-identical distributed CG
+//	internal/bench           figure/table regeneration and load tests
 //
 // Commands:
 //
 //	cmd/legate-serve     HTTP solver service with warm runtime pool
+//	                     (-shards runs the sharded execution plane)
 //	cmd/legate-bench     paper experiments, ablations, load test
 //	cmd/figures          EXPERIMENTS.md table generator
 //	cmd/legate-prof      profiler artifact exporter

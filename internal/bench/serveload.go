@@ -12,7 +12,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/serve"
+	"repro/internal/serve/engine"
+	"repro/internal/serve/httpapi"
 )
 
 // ServeLoadResult is one load-test configuration's measurements against
@@ -39,7 +40,7 @@ type ServeLoadResult struct {
 // serveLoadCase is one configuration of the sweep.
 type serveLoadCase struct {
 	name        string
-	cfg         serve.Config
+	cfg         engine.Config
 	requests    int
 	concurrency int
 	cold        bool     // flush every cache between requests
@@ -57,7 +58,7 @@ func ServeLoad(opt Options) []ServeLoadResult {
 	if opt.Runs > 3 { // paper preset: longer run
 		n = 192
 	}
-	base := serve.Config{Pool: 2, Procs: 4, CacheSize: 8}
+	base := engine.Config{Pool: 2, Procs: 4, CacheSize: 8}
 	noBatch := base
 	noBatch.BatchWindow = -1
 	faulty := base
@@ -101,12 +102,12 @@ func ServeLoad(opt Options) []ServeLoadResult {
 }
 
 func runServeLoad(c serveLoadCase) ServeLoadResult {
-	s, err := serve.NewServer(c.cfg)
+	s, err := engine.New(c.cfg)
 	if err != nil {
 		return ServeLoadResult{Name: c.name + " (config error: " + err.Error() + ")"}
 	}
 	defer s.Close()
-	ts := httptest.NewServer(s.Handler())
+	ts := httptest.NewServer(httpapi.Handler(s))
 	defer ts.Close()
 
 	do := func(path string, body any) (time.Duration, int, error) {
@@ -128,15 +129,15 @@ func runServeLoad(c serveLoadCase) ServeLoadResult {
 	request := func(i int) (time.Duration, int, error) {
 		m := c.matrices[i%len(c.matrices)]
 		if c.mixed && i%2 == 1 {
-			return do("/spmv", serve.SpMVRequest{Matrix: m})
+			return do("/spmv", engine.SpMVRequest{Matrix: m})
 		}
-		return do("/solve", serve.SolveRequest{Matrix: m, MaxIter: 8, Tol: 1e-30})
+		return do("/solve", engine.SolveRequest{Matrix: m, MaxIter: 8, Tol: 1e-30})
 	}
 
 	// Prime every matrix once so "warm" configurations start warm and
 	// the preset build cost stays out of the measurement.
 	for _, m := range c.matrices {
-		do("/solve", serve.SolveRequest{Matrix: m, MaxIter: 8, Tol: 1e-30})
+		do("/solve", engine.SolveRequest{Matrix: m, MaxIter: 8, Tol: 1e-30})
 	}
 	if c.cold {
 		s.FlushCaches()
@@ -208,8 +209,8 @@ func runServeLoad(c serveLoadCase) ServeLoadResult {
 	return res
 }
 
-func serveMetrics(url string) serve.MetricsSnapshot {
-	var snap serve.MetricsSnapshot
+func serveMetrics(url string) engine.MetricsSnapshot {
+	var snap engine.MetricsSnapshot
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
 		return snap

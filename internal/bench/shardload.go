@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve/engine"
+	"repro/internal/serve/httpapi"
+	"repro/internal/shard"
+)
+
+// ShardLoadResult is one sharded-serve configuration's wall-clock
+// measurements: a scaling point of the scatter/gather execution plane
+// against the single-process baseline (shards = 0).
+type ShardLoadResult struct {
+	Name        string
+	Shards      int // 0 = single-process engine baseline
+	Requests    int
+	Concurrency int
+	Failures    int
+	Elapsed     time.Duration
+	Throughput  float64 // requests per wall-clock second
+	MeanLat     time.Duration
+	P50Lat      time.Duration
+	P99Lat      time.Duration
+	Scatters    int64 // block requests the plane scattered
+	Failovers   int64 // block requests retried on a replica
+	CommsBytes  int64 // operand + result bytes moved shard-ward
+}
+
+// shardLoadCase is one configuration of the sweep.
+type shardLoadCase struct {
+	name        string
+	shards      int // 0 = plain engine
+	requests    int
+	concurrency int
+	gmg         bool // GMG-style V-cycle SpMV sweep instead of warm CG
+}
+
+// ShardedServeLoad runs the sharded-serve scaling sweep: warm CG and a
+// GMG-style V-cycle SpMV ladder (poisson2d at three resolutions per
+// request, the multigrid traffic shape) at 1, 2, and 4 shards against
+// the single-process baseline. Results are bit-identical across every
+// configuration — the shard chaos suite pins that — so the sweep
+// measures pure transport/coordination cost.
+func ShardedServeLoad(opt Options) []ShardLoadResult {
+	n := 32
+	if opt.Runs > 3 { // paper preset: longer run
+		n = 128
+	}
+	cases := []shardLoadCase{
+		{name: "warm cg, single process", shards: 0, requests: n, concurrency: 8},
+		{name: "warm cg, 1 shard", shards: 1, requests: n, concurrency: 8},
+		{name: "warm cg, 2 shards", shards: 2, requests: n, concurrency: 8},
+		{name: "warm cg, 4 shards", shards: 4, requests: n, concurrency: 8},
+		{name: "gmg v-cycle spmv, single process", shards: 0, requests: n, concurrency: 8, gmg: true},
+		{name: "gmg v-cycle spmv, 2 shards", shards: 2, requests: n, concurrency: 8, gmg: true},
+		{name: "gmg v-cycle spmv, 4 shards", shards: 4, requests: n, concurrency: 8, gmg: true},
+	}
+	out := make([]ShardLoadResult, 0, len(cases))
+	for _, c := range cases {
+		out = append(out, runShardLoad(c))
+	}
+	return out
+}
+
+// gmgLadder is the V-cycle resolution ladder: one request touches the
+// fine, medium, and coarse grids in order, like a multigrid smoother
+// visiting each level.
+var gmgLadder = []string{"poisson2d:32", "poisson2d:16", "poisson2d:8"}
+
+func runShardLoad(c shardLoadCase) ShardLoadResult {
+	ecfg := engine.Config{Pool: 2, Procs: 4, CacheSize: 8, BatchWindow: -1}
+	var backend engine.Backend
+	if c.shards > 0 {
+		co, err := shard.New(shard.Config{Shards: c.shards, Replicas: 2, Engine: ecfg})
+		if err != nil {
+			return ShardLoadResult{Name: c.name + " (config error: " + err.Error() + ")"}
+		}
+		backend = co
+	} else {
+		e, err := engine.New(ecfg)
+		if err != nil {
+			return ShardLoadResult{Name: c.name + " (config error: " + err.Error() + ")"}
+		}
+		backend = e
+	}
+	defer backend.Close()
+	ts := httptest.NewServer(httpapi.Handler(backend))
+	defer ts.Close()
+
+	do := func(path string, body any) error {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	request := func(i int) (time.Duration, error) {
+		t0 := time.Now()
+		if c.gmg {
+			for _, m := range gmgLadder {
+				if err := do("/spmv", engine.SpMVRequest{Matrix: m}); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(t0), nil
+		}
+		err := do("/solve", engine.SolveRequest{Matrix: "poisson2d:32", MaxIter: 8, Tol: 1e-30})
+		return time.Since(t0), err
+	}
+
+	// Prime: materialize presets, build plans, push blocks — the warm
+	// steady state is what the sweep measures.
+	request(0)
+
+	lats := make([]time.Duration, c.requests)
+	errs := make([]error, c.requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.concurrency)
+	for i := 0; i < c.requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lats[i], errs[i] = request(i)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := ShardLoadResult{
+		Name:        c.name,
+		Shards:      c.shards,
+		Requests:    c.requests,
+		Concurrency: c.concurrency,
+		Elapsed:     elapsed,
+		Throughput:  float64(c.requests) / elapsed.Seconds(),
+	}
+	var total time.Duration
+	ok := lats[:0]
+	for i, l := range lats {
+		if errs[i] != nil {
+			res.Failures++
+			continue
+		}
+		ok = append(ok, l)
+		total += l
+	}
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		res.MeanLat = total / time.Duration(len(ok))
+		res.P50Lat = ok[len(ok)/2]
+		res.P99Lat = ok[len(ok)*99/100]
+	}
+	for _, row := range serveMetrics(ts.URL).Shards {
+		res.Scatters += row.Scatters
+		res.Failovers += row.Failovers
+		res.CommsBytes += row.BytesOut + row.BytesIn
+	}
+	return res
+}
+
+// FormatShardLoad renders the scaling sweep as an aligned text table.
+func FormatShardLoad(results []ShardLoadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharded legate-serve scaling (wall clock)\n")
+	fmt.Fprintf(&b, "%-36s %6s %6s %5s %5s %9s %9s %9s %9s %9s %10s\n",
+		"configuration", "shards", "reqs", "conc", "fail", "req/s", "mean", "p50", "p99", "scatters", "comms")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-36s %6d %6d %5d %5d %9.1f %9s %9s %9s %9d %9.1fK\n",
+			r.Name, r.Shards, r.Requests, r.Concurrency, r.Failures, r.Throughput,
+			r.MeanLat.Round(time.Microsecond), r.P50Lat.Round(time.Microsecond),
+			r.P99Lat.Round(time.Microsecond), r.Scatters, float64(r.CommsBytes)/1024)
+	}
+	return b.String()
+}

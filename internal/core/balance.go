@@ -14,6 +14,48 @@ type balanceKey struct {
 	version int64
 }
 
+// BalancedCuts returns a contiguous partition of [0, len(weights))
+// into parts pieces holding approximately equal total weight, via the
+// same greedy ceil-share cut the balanced SpMV mapper uses: each piece
+// takes rows until it holds its ceiling share of the remaining weight
+// (always at least one row), and the last piece takes the rest. Pieces
+// past the end of the rows come back as EmptyRect. The shard
+// coordinator reuses these exact cuts to place nnz-balanced row blocks,
+// so a sharded deployment and a rebalanced single-process mapper agree
+// on where the work boundary falls.
+func BalancedCuts(weights []int64, parts int) []geometry.Rect {
+	rows := int64(len(weights))
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	rects := make([]geometry.Rect, parts)
+	row, used := int64(0), int64(0)
+	for c := 0; c < parts; c++ {
+		if row >= rows {
+			rects[c] = geometry.EmptyRect
+			continue
+		}
+		if c == parts-1 {
+			rects[c] = geometry.NewRect(row, rows-1)
+			row = rows
+			continue
+		}
+		// Greedy cut: give this color rows until it holds its ceil share
+		// of the remaining entries (always at least one row).
+		share := (total - used + int64(parts-c) - 1) / int64(parts-c)
+		start := row
+		cum := int64(0)
+		for row < rows && (cum < share || row == start) {
+			cum += weights[row]
+			row++
+		}
+		used += cum
+		rects[c] = geometry.NewRect(start, row-1)
+	}
+	return rects
+}
+
 // balancedRowPartition returns a contiguous row partition of [0, rows)
 // into colors pieces holding approximately equal stored-entry counts —
 // the distribution the autotuner switches a skewed SpMV to. Contiguity
@@ -29,35 +71,11 @@ func (a *CSR) balancedRowPartition(colors int) *legion.Partition {
 	}
 	a.rt.Fence()
 	pos := a.pos.Rects()
-	var total int64
-	for _, r := range pos {
-		total += r.Size()
+	weights := make([]int64, len(pos))
+	for i, r := range pos {
+		weights[i] = r.Size()
 	}
-	rects := make([]geometry.Rect, colors)
-	row, used := int64(0), int64(0)
-	for c := 0; c < colors; c++ {
-		if row >= a.rows {
-			rects[c] = geometry.EmptyRect
-			continue
-		}
-		if c == colors-1 {
-			rects[c] = geometry.NewRect(row, a.rows-1)
-			row = a.rows
-			continue
-		}
-		// Greedy cut: give this color rows until it holds its ceil share
-		// of the remaining entries (always at least one row).
-		share := (total - used + int64(colors-c) - 1) / int64(colors-c)
-		start := row
-		cum := int64(0)
-		for row < a.rows && (cum < share || row == start) {
-			cum += pos[row].Size()
-			row++
-		}
-		used += cum
-		rects[c] = geometry.NewRect(start, row-1)
-	}
-	p := a.rt.PartitionByRects(a.pos, rects)
+	p := a.rt.PartitionByRects(a.pos, BalancedCuts(weights, colors))
 	if a.balParts == nil {
 		a.balParts = map[balanceKey]*legion.Partition{}
 	}

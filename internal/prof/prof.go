@@ -137,6 +137,10 @@ const (
 	// MarkBreaker is a circuit-breaker state transition; Task carries
 	// the new state (open, half-open, closed).
 	MarkBreaker
+	// MarkFailover is a shard-coordinator block request retried on a
+	// replica engine after its primary degraded; Proc carries the shard
+	// that was abandoned and Task the block name.
+	MarkFailover
 )
 
 func (k MarkKind) String() string {
@@ -155,6 +159,8 @@ func (k MarkKind) String() string {
 		return "cancel"
 	case MarkBreaker:
 		return "breaker"
+	case MarkFailover:
+		return "failover"
 	default:
 		return "mark?"
 	}

@@ -1,65 +1,23 @@
-package serve
+package engine
 
-// Request-lifecycle machinery: the uniform error envelope, admission
-// control (per-tenant token-bucket quotas, bounded queues, queue-wait
-// shedding), the budgeted retry policy with deterministic jitter, and
-// the per-worker circuit breaker. Together with the runtime's
-// cooperative cancellation (legion/cancel.go) and the fault injector's
-// latency schedules (internal/fault), these bound what overload can do
-// to the service: work is either admitted — and then completes within
-// its deadline budget or is cancelled cleanly — or it is shed up front
-// with a Retry-After the client can act on. See DESIGN.md ("request
-// lifecycle & overload").
+// Request-lifecycle machinery: admission control (per-tenant
+// token-bucket quotas, bounded queues, queue-wait shedding), the
+// budgeted retry policy with deterministic jitter, and the per-worker
+// circuit breaker. Together with the runtime's cooperative cancellation
+// (legion/cancel.go) and the fault injector's latency schedules
+// (internal/fault), these bound what overload can do to the service:
+// work is either admitted — and then completes within its deadline
+// budget or is cancelled cleanly — or it is refused up front with a
+// typed *Error carrying a RetryAfter the client can act on. The wire
+// spelling of refusals (JSON envelope, Retry-After header) lives in the
+// transport layer. See DESIGN.md ("request lifecycle & overload").
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"net/http"
 	"sync"
 	"time"
 )
-
-// ErrorResponse is the uniform JSON error envelope every handler
-// returns on a non-2xx status: the human-readable error, a stable
-// machine-readable code, and whether retrying the same request can
-// succeed. Shed responses (429/503) additionally carry a Retry-After
-// header.
-type ErrorResponse struct {
-	Error     string `json:"error"`
-	Code      string `json:"code"`
-	Retryable bool   `json:"retryable"`
-}
-
-// Stable error codes of the envelope.
-const (
-	codeBadRequest  = "bad_request"       // malformed request; retry is pointless
-	codeNotFound    = "not_found"         // unknown matrix
-	codeOverQuota   = "over_quota"        // tenant token bucket empty (429)
-	codeQueueFull   = "queue_full"        // worker's bounded queue is full (503)
-	codeQueueWait   = "queue_wait"        // estimated queue wait exceeds the deadline budget (503)
-	codeBreakerOpen = "breaker_open"      // worker's circuit breaker is open (503)
-	codeDraining    = "draining"          // server is shutting down (503)
-	codeDeadline    = "deadline_exceeded" // admitted, but the deadline expired; cancelled cleanly (504)
-	codeCancelled   = "cancelled"         // client abandoned the request mid-flight
-	codeDegraded    = "degraded"          // runtime degraded past the retry budget (503)
-	codeInternal    = "internal"
-)
-
-// writeError writes the envelope. retryAfter > 0 adds a Retry-After
-// header (whole seconds, minimum 1 — the HTTP delta-seconds format).
-func writeError(w http.ResponseWriter, status int, code string, retryable bool, retryAfter time.Duration, err error) {
-	if retryAfter > 0 {
-		secs := int64(math.Ceil(retryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: code, Retryable: retryable})
-}
 
 // degradedError reports a batch group that exhausted its retry budget:
 // every attempt ended with a sticky runtime error.
@@ -77,10 +35,11 @@ func (e *degradedError) Unwrap() error { return e.cause }
 // ---- per-tenant quotas -------------------------------------------------
 
 // quotas is the per-tenant token-bucket admission gate. Each tenant
-// (the X-Tenant header; "default" when absent) gets an independent
+// (RequestMeta.Tenant; "default" when absent) gets an independent
 // bucket refilled at rate tokens/second up to burst; an admission
-// spends one token, and an empty bucket sheds the request with a 429
-// whose Retry-After is the time until the next token.
+// spends one token, and an empty bucket refuses the request with a
+// CodeOverQuota error whose RetryAfter is the time until the next
+// token.
 type quotas struct {
 	rate  float64
 	burst float64
@@ -210,7 +169,7 @@ func newBreaker(threshold int, cooldown time.Duration, notify func(breakerState)
 }
 
 // allow decides whether an admission may proceed. When it refuses, the
-// returned duration is the remaining cooldown — the Retry-After hint.
+// returned duration is the remaining cooldown — the RetryAfter hint.
 func (b *breaker) allow(now time.Time) (time.Duration, bool) {
 	if b.threshold <= 0 {
 		return 0, true
@@ -282,7 +241,7 @@ func (b *breaker) transition(to breakerState) {
 	}
 }
 
-// snapshot returns the current state for /healthz.
+// snapshot returns the current state for health reporting.
 func (b *breaker) snapshot() breakerState {
 	if b.threshold <= 0 {
 		return breakerClosed

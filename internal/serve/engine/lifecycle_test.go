@@ -1,0 +1,91 @@
+package engine
+
+// Unit tests for the lifecycle machinery that the end-to-end overload
+// suite (httpapi) cannot reach deterministically: the breaker's close
+// path and the retry policy's jitter function.
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadBreakerCloses exercises the unit-level close path the
+// always-fail end-to-end schedule cannot reach: a successful half-open
+// probe closes the breaker.
+func TestOverloadBreakerCloses(t *testing.T) {
+	var transitions []breakerState
+	b := newBreaker(2, 50*time.Millisecond, func(to breakerState) { transitions = append(transitions, to) })
+	now := time.Now()
+
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("fresh breaker refused")
+	}
+	b.onFailure(now)
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("one failure below threshold tripped the breaker")
+	}
+	b.onSuccess() // success resets the streak
+	b.onFailure(now)
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("streak was not reset by success")
+	}
+	b.onFailure(now)
+	b.onFailure(now)
+	if wait, ok := b.allow(now); ok || wait <= 0 {
+		t.Fatalf("threshold reached but breaker admitted (wait=%v ok=%v)", wait, ok)
+	}
+	// Cooldown elapsed: exactly one probe is admitted.
+	later := now.Add(60 * time.Millisecond)
+	if _, ok := b.allow(later); !ok {
+		t.Fatal("post-cooldown probe refused")
+	}
+	if _, ok := b.allow(later); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.onSuccess()
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("successful probe left breaker %v, want closed", b.snapshot())
+	}
+	if _, ok := b.allow(later); !ok {
+		t.Fatal("closed breaker refused")
+	}
+	want := []breakerState{breakerOpen, breakerHalfOpen, breakerClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+// TestOverloadRetryJitterDeterministic pins the retry policy: delays
+// are a pure function of (seed, worker, attempt), exponential, capped,
+// and jittered within [base/2, base).
+func TestOverloadRetryJitterDeterministic(t *testing.T) {
+	p := retryPolicy{attempts: 4, backoff: 2 * time.Millisecond, seed: 42}
+	for attempt := 0; attempt < 3; attempt++ {
+		base := p.backoff << uint(attempt)
+		for workerID := 0; workerID < 3; workerID++ {
+			d1 := p.delay(workerID, attempt)
+			d2 := p.delay(workerID, attempt)
+			if d1 != d2 {
+				t.Fatalf("delay(%d,%d) not deterministic: %v vs %v", workerID, attempt, d1, d2)
+			}
+			if d1 < base/2 || d1 >= base {
+				t.Errorf("delay(%d,%d) = %v outside [%v, %v)", workerID, attempt, d1, base/2, base)
+			}
+		}
+		if p.delay(0, attempt) == p.delay(1, attempt) {
+			t.Errorf("attempt %d: workers 0 and 1 share a jitter — no decorrelation", attempt)
+		}
+	}
+	// The exponential cap: huge attempts stay at ~1s.
+	if d := p.delay(0, 20); d >= time.Second {
+		t.Errorf("uncapped backoff: %v", d)
+	}
+	if (retryPolicy{}).delay(0, 0) != 0 {
+		t.Error("zero policy must not sleep")
+	}
+}

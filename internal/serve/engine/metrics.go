@@ -1,8 +1,6 @@
-package serve
+package engine
 
 import (
-	"fmt"
-	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,9 +10,9 @@ import (
 	"repro/internal/legion"
 )
 
-// metrics is the server's counter set, exposed as JSON on /metrics.
-// Everything is atomic: counters are bumped from handler goroutines and
-// worker goroutines concurrently.
+// metrics is the engine's counter set, snapshotted by Metrics.
+// Everything is atomic: counters are bumped from transport goroutines
+// and worker goroutines concurrently.
 type metrics struct {
 	inflight atomic.Int64
 	uploads  atomic.Int64
@@ -81,7 +79,8 @@ func (m *metrics) noteBatch(n int) {
 	}
 }
 
-// MetricsSnapshot is the JSON shape of GET /metrics.
+// MetricsSnapshot is the engine's full counter snapshot (the JSON shape
+// of the HTTP transport's GET /metrics).
 type MetricsSnapshot struct {
 	Inflight int64 `json:"inflight"`
 	Uploads  int64 `json:"uploads"`
@@ -95,13 +94,17 @@ type MetricsSnapshot struct {
 	Lifecycle    LifecycleMetrics `json:"lifecycle"`
 
 	// PartitionCache aggregates every live pool runtime's legion cache
-	// counters — the §4.1 partition reuse this server exists to exploit.
+	// counters — the §4.1 partition reuse this service exists to exploit.
 	PartitionCache legion.CacheStats `json:"partition_cache"`
 	// PlanCache aggregates the workers' scoped views of the shared DISTAL
-	// kernel registry. Scoped counters keep this server's hit rate
+	// kernel registry. Scoped counters keep this engine's hit rate
 	// accurate even when other registry consumers (tests, benchmarks, a
-	// second server) share the process-global plan cache.
+	// second engine) share the process-global plan cache.
 	PlanCache distal.RegistryStats `json:"plan_cache"`
+
+	// Shards is filled only by the shard coordinator: per-shard comms
+	// accounting for the scatter/gather execution plane.
+	Shards []ShardMetrics `json:"shards,omitempty"`
 }
 
 // ClassMetrics is the per-request-class roll-up.
@@ -145,8 +148,27 @@ type LifecycleMetrics struct {
 	BreakerTrips  int64            `json:"breaker_trips"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	m := s.metrics
+// ShardMetrics is one shard's comms accounting row, filled by the
+// internal/shard coordinator: how many blocks it hosts, how much
+// operand/result traffic the scatter/gather plane moved through it,
+// how many fixed-order reduction partials it contributed, and how
+// often block requests failed over to a replica.
+type ShardMetrics struct {
+	Shard       int   `json:"shard"`
+	Blocks      int64 `json:"blocks"`       // row blocks placed on this shard (primary)
+	Scatters    int64 `json:"scatters"`     // block-level requests scattered to it
+	Gathers     int64 `json:"gathers"`      // block results gathered from it
+	BytesOut    int64 `json:"bytes_out"`    // operand bytes scattered to it
+	BytesIn     int64 `json:"bytes_in"`     // result bytes gathered from it
+	DotPartials int64 `json:"dot_partials"` // reduction partials it owned
+	Failovers   int64 `json:"failovers"`    // block requests retried on a replica
+	Passthrough int64 `json:"passthrough"`  // whole requests routed to it undistributed
+}
+
+// Metrics snapshots every counter, including per-worker plan- and
+// partition-cache views.
+func (e *Engine) Metrics() MetricsSnapshot {
+	m := e.metrics
 	snap := MetricsSnapshot{
 		Inflight: m.inflight.Load(),
 		Uploads:  m.uploads.Load(),
@@ -164,7 +186,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			MaxSize: m.maxBatch.Load(),
 		},
 		Pool: PoolMetrics{
-			Workers:      len(s.workers),
+			Workers:      len(e.workers),
 			Replacements: m.replacements.Load(),
 			Retries:      m.retries.Load(),
 		},
@@ -187,7 +209,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		snap.Requests[c.String()] = cm
 	}
-	for _, wk := range s.workers {
+	for _, wk := range e.workers {
 		ps := wk.reg.Stats()
 		snap.PlanCache.Hits += ps.Hits
 		snap.PlanCache.Misses += ps.Misses
@@ -205,24 +227,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap.PartitionCache.ImageEntries += cs.ImageEntries
 		snap.PartitionCache.ImageSetEntries += cs.ImageSetEntries
 	}
-	writeJSON(w, snap)
+	return snap
 }
 
-// TuneSnapshot is the JSON shape of GET /tune: every cached binding's
-// learned autotuner state plus the server's aggregated plan-cache view.
+// TuneSnapshot is the feedback-directed-mapping report (the JSON shape
+// of the HTTP transport's GET /tune): every cached binding's learned
+// autotuner state plus the engine's aggregated plan-cache view.
 type TuneSnapshot struct {
 	Enabled   bool                 `json:"enabled"`
 	Bindings  []TuneEntry          `json:"bindings"`
 	PlanCache distal.RegistryStats `json:"plan_cache"`
 }
 
-// handleTune reports the feedback-directed mapping state: for each
+// TuneReport collects the feedback-directed mapping state: for each
 // worker's cached (matrix, format) binding, the tuner's variant table,
 // fusion window, and balance decisions. Learned state lives in the
 // binding LRU, so it persists across requests and dies with eviction.
-func (s *Server) handleTune(w http.ResponseWriter, _ *http.Request) {
-	snap := TuneSnapshot{Enabled: !s.cfg.NoTune, Bindings: []TuneEntry{}}
-	for _, wk := range s.workers {
+func (e *Engine) TuneReport() TuneSnapshot {
+	snap := TuneSnapshot{Enabled: !e.cfg.NoTune, Bindings: []TuneEntry{}}
+	for _, wk := range e.workers {
 		snap.Bindings = append(snap.Bindings, wk.tuneReport()...)
 		ps := wk.reg.Stats()
 		snap.PlanCache.Hits += ps.Hits
@@ -239,24 +262,5 @@ func (s *Server) handleTune(w http.ResponseWriter, _ *http.Request) {
 		}
 		return a.Worker < b.Worker
 	})
-	writeJSON(w, snap)
-}
-
-// handleProfile snapshots one request class's profiling sink and
-// returns its built report: GET /profile?class=solve|spmv|eigen.
-func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	class := r.URL.Query().Get("class")
-	if class == "" {
-		class = "solve"
-	}
-	sink, ok := s.sinks[class]
-	if !ok {
-		writeError(w, http.StatusBadRequest, codeBadRequest, false, 0, fmt.Errorf("unknown request class %q", class))
-		return
-	}
-	report := sink.Snapshot().BuildReport()
-	w.Header().Set("Content-Type", "application/json")
-	if err := report.WriteJSON(w); err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, true, 0, err)
-	}
+	return snap
 }

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -18,8 +18,8 @@ import (
 )
 
 // errShutdown is the failure a queued job receives when its worker
-// closes before serving it; dispatch maps it to a retryable 503.
-var errShutdown = errors.New("serve: worker shutting down")
+// closes before serving it; dispatch maps it to a retryable error.
+var errShutdown = errors.New("engine: worker shutting down")
 
 // clientError marks a request as malformed (bad format, wrong-length
 // vector). It must NOT trigger the degradation protocol: the runtime is
@@ -52,13 +52,13 @@ func (c reqClass) String() string {
 	}
 }
 
-// job is one in-flight request, handed from an HTTP handler goroutine
-// to a worker and back through the done channel. ctx is the request's
-// lifecycle: it chains the client connection and the deadline budget,
+// job is one in-flight request, handed from a transport goroutine to a
+// worker and back through the done channel. ctx is the request's
+// lifecycle: it chains the transport context and the deadline budget,
 // and the runtime's cooperative cancellation checkpoints poll it.
 type job struct {
 	class  reqClass
-	def    *matrixDef
+	def    *MatrixDef
 	format string
 	req    any
 	ctx    context.Context // nil = never cancelled
@@ -122,7 +122,7 @@ type bindKey struct {
 // persistent work vectors, so repeated SpMV-class requests reuse the
 // exact partition objects of previous requests.
 type binding struct {
-	def  *matrixDef
+	def  *MatrixDef
 	mat  core.SparseMatrix
 	x, y *cunumeric.Array // persistent operand/result vectors
 	used int64            // LRU clock
@@ -135,10 +135,10 @@ type binding struct {
 
 // worker owns one pool runtime. All runtime calls happen on the worker
 // goroutine — the runtime's application-goroutine discipline — so the
-// HTTP layer communicates exclusively through the jobs channel.
+// transport layer communicates exclusively through the jobs channel.
 type worker struct {
 	id  int
-	srv *Server
+	eng *Engine
 
 	jobs    chan *job
 	control chan func() // flush, nudge; executed between batches
@@ -149,7 +149,7 @@ type worker struct {
 	rtPub atomic.Pointer[legion.Runtime]
 
 	// reg is this worker's consumer-scoped view of the shared DISTAL
-	// registry: every binding's tuner dispatches through it, so /metrics
+	// registry: every binding's tuner dispatches through it, so Metrics
 	// reports accurate per-worker plan-cache hit rates instead of the
 	// process-global tally. Immutable after construction; counter reads
 	// are safe from any goroutine.
@@ -180,20 +180,20 @@ func (w *worker) cacheStats() legion.CacheStats {
 	return legion.CacheStats{}
 }
 
-func newWorker(id int, s *Server) *worker {
+func newWorker(id int, e *Engine) *worker {
 	w := &worker{
 		id:      id,
-		srv:     s,
-		jobs:    make(chan *job, s.cfg.MaxQueue),
+		eng:     e,
+		jobs:    make(chan *job, e.cfg.MaxQueue),
 		control: make(chan func(), 8),
 		quitCh:  make(chan struct{}),
 		reg:     distal.Standard.Scoped(),
 	}
-	w.brk = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, func(to breakerState) {
+	w.brk = newBreaker(e.cfg.BreakerThreshold, e.cfg.BreakerCooldown, func(to breakerState) {
 		if to == breakerOpen {
-			s.metrics.breakerTrips.Add(1)
+			e.metrics.breakerTrips.Add(1)
 		}
-		s.lifeMark(prof.MarkBreaker, to.String(), id)
+		e.lifeMark(prof.MarkBreaker, to.String(), id)
 	})
 	return w
 }
@@ -265,7 +265,7 @@ func (w *worker) flush() {
 }
 
 // TuneEntry is one cached binding's autotuner state, as served by
-// GET /tune.
+// TuneReport.
 type TuneEntry struct {
 	Worker    int            `json:"worker"`
 	Matrix    string         `json:"matrix"`
@@ -286,7 +286,7 @@ func (w *worker) tuneReport() []TuneEntry {
 			}
 			entries = append(entries, TuneEntry{
 				Worker:    w.id,
-				Matrix:    b.def.name,
+				Matrix:    b.def.Name,
 				Format:    k.format,
 				Decisions: b.tuner.Decisions(),
 			})
@@ -326,11 +326,11 @@ func (w *worker) close() {
 }
 
 // run is the worker goroutine: build the runtime, then serve batches
-// until the server closes. On close, jobs still queued are failed with
-// errShutdown rather than abandoned, so no handler ever hangs on a
-// done channel nobody will close.
+// until the engine closes. On close, jobs still queued are failed with
+// errShutdown rather than abandoned, so no caller ever hangs on a done
+// channel nobody will close.
 func (w *worker) run() {
-	w.rt = w.srv.newPoolRuntime()
+	w.rt = w.eng.newPoolRuntime()
 	w.rtPub.Store(w.rt)
 	w.bindings = map[bindKey]*binding{}
 	defer func() {
@@ -365,10 +365,10 @@ func (w *worker) run() {
 // same-matrix requests into one launch-stream epoch.
 func (w *worker) collectBatch(first *job) []*job {
 	batch := []*job{first}
-	if w.srv.cfg.BatchWindow <= 0 {
+	if w.eng.cfg.BatchWindow <= 0 {
 		return batch
 	}
-	timer := time.NewTimer(w.srv.cfg.BatchWindow)
+	timer := time.NewTimer(w.eng.cfg.BatchWindow)
 	defer timer.Stop()
 	for {
 		select {
@@ -395,12 +395,12 @@ func (w *worker) serveBatch(batch []*job) {
 		if err := j.ctxErr(); err != nil {
 			// Expired in the queue: never admitted to a runtime, so
 			// there is nothing to cancel — just answer.
-			w.srv.metrics.queueExpired.Add(1)
-			w.srv.lifeMark(prof.MarkCancel, "queue-expired", w.id)
+			w.eng.metrics.queueExpired.Add(1)
+			w.eng.lifeMark(prof.MarkCancel, "queue-expired", w.id)
 			j.complete(err)
 			continue
 		}
-		k := bindKey{fp: j.def.fp, format: j.format}
+		k := bindKey{fp: j.def.FP, format: j.format}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -408,7 +408,7 @@ func (w *worker) serveBatch(batch []*job) {
 	}
 	for _, k := range order {
 		group := groups[k]
-		w.srv.metrics.noteBatch(len(group))
+		w.eng.metrics.noteBatch(len(group))
 		t0 := time.Now()
 		w.runGroup(k, group)
 		w.observeService(time.Since(t0), len(group))
@@ -430,7 +430,7 @@ func (w *worker) runGroup(k bindKey, group []*job) {
 		}
 		if err == nil && w.rt.Err() == nil {
 			w.brk.onSuccess()
-			healthy := w.rt.NumProcs() >= w.srv.cfg.Procs
+			healthy := w.rt.NumProcs() >= w.eng.cfg.Procs
 			w.finish(group, nil)
 			if !healthy {
 				// Processor death mid-epoch: checkpoint recovery already
@@ -449,12 +449,12 @@ func (w *worker) runGroup(k bindKey, group []*job) {
 		// discard them and replace the runtime.
 		w.replaceRuntime()
 		w.brk.onFailure(time.Now())
-		if attempt >= w.srv.retry.attempts || groupExpired(group) {
+		if attempt >= w.eng.retry.attempts || groupExpired(group) {
 			w.finish(group, &degradedError{attempts: attempt, cause: err})
 			return
 		}
-		w.srv.metrics.retries.Add(1)
-		if d := w.srv.retry.delay(w.id, attempt-1); d > 0 {
+		w.eng.metrics.retries.Add(1)
+		if d := w.eng.retry.delay(w.id, attempt-1); d > 0 {
 			time.Sleep(d)
 		}
 	}
@@ -474,8 +474,8 @@ func groupExpired(group []*job) bool {
 // cancelJob completes a job that hit a cooperative cancellation
 // checkpoint (deadline expired or client gone) and accounts for it.
 func (w *worker) cancelJob(j *job) {
-	w.srv.metrics.cancellations.Add(1)
-	w.srv.lifeMark(prof.MarkCancel, j.class.String(), w.id)
+	w.eng.metrics.cancellations.Add(1)
+	w.eng.lifeMark(prof.MarkCancel, j.class.String(), w.id)
 	err := j.ctxErr()
 	if err == nil {
 		err = context.Canceled
@@ -517,7 +517,7 @@ func (w *worker) runGroupOnce(k bindKey, group []*job) (err error) {
 	defer w.rt.SetCancelCheck(nil)
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("serving %s/%s: %v", group[0].def.name, k.format, r)
+			err = fmt.Errorf("serving %s/%s: %v", group[0].def.Name, k.format, r)
 		}
 	}()
 	w.attachSink(group[0].class)
@@ -540,9 +540,9 @@ func (w *worker) runGroupOnce(k bindKey, group []*job) (err error) {
 		j.workerID = w.id
 	}
 	if hit {
-		w.srv.metrics.bindHits.Add(1)
+		w.eng.metrics.bindHits.Add(1)
 	} else {
-		w.srv.metrics.bindMisses.Add(1)
+		w.eng.metrics.bindMisses.Add(1)
 	}
 
 	var collect []func()
@@ -618,19 +618,19 @@ func (w *worker) attachSink(c reqClass) {
 	if w.curSink == name {
 		return
 	}
-	w.rt.EnableProfiling(w.srv.sinks[name])
+	w.rt.EnableProfiling(w.eng.sinks[name])
 	w.curSink = name
 }
 
 // binding returns the warm binding for k, materializing and caching it
 // on a miss (with LRU eviction).
-func (w *worker) binding(k bindKey, def *matrixDef) (*binding, bool, error) {
+func (w *worker) binding(k bindKey, def *MatrixDef) (*binding, bool, error) {
 	w.lruClock++
 	if b, ok := w.bindings[k]; ok {
 		b.used = w.lruClock
 		return b, true, nil
 	}
-	mat, err := def.bind(w.rt, k.format)
+	mat, err := def.Bind(w.rt, k.format)
 	if err != nil {
 		return nil, false, clientError{err}
 	}
@@ -642,12 +642,12 @@ func (w *worker) binding(k bindKey, def *matrixDef) (*binding, bool, error) {
 		used:  w.lruClock,
 		tuner: tune.New(w.reg),
 	}
-	if w.srv.cfg.NoTune {
+	if w.eng.cfg.NoTune {
 		// Decisions off, but the scoped plan-cache accounting stays on.
 		b.tuner.SetEnabled(false)
 	}
 	w.bindings[k] = b
-	for len(w.bindings) > w.srv.cfg.CacheSize {
+	for len(w.bindings) > w.eng.cfg.CacheSize {
 		w.evictLRU()
 	}
 	return b, false, nil
@@ -662,7 +662,7 @@ func (w *worker) evictLRU() {
 		}
 	}
 	w.dropBinding(victim)
-	w.srv.metrics.evictions.Add(1)
+	w.eng.metrics.evictions.Add(1)
 }
 
 // dropBinding destroys one binding and purges every runtime cache entry
@@ -695,16 +695,16 @@ func (w *worker) dropAllBindings() {
 // the store's definition for the name no longer carries the binding's
 // fingerprint.
 func (w *worker) dropStaleBindings() {
-	rev := w.srv.store.rev()
+	rev := w.eng.store.Rev()
 	if rev == w.storeRev {
 		return
 	}
 	w.storeRev = rev
 	for k, b := range w.bindings {
-		cur, err := w.srv.store.get(b.def.name)
-		if err != nil || cur.fp != b.def.fp {
+		cur, err := w.eng.store.Get(b.def.Name)
+		if err != nil || cur.FP != b.def.FP {
 			w.dropBinding(k)
-			w.srv.metrics.invalidations.Add(1)
+			w.eng.metrics.invalidations.Add(1)
 		}
 	}
 }
@@ -723,10 +723,10 @@ func (w *worker) replaceRuntime() {
 		w.bindings = map[bindKey]*binding{}
 	}
 	old.Shutdown()
-	w.rt = w.srv.newPoolRuntime()
+	w.rt = w.eng.newPoolRuntime()
 	w.rtPub.Store(w.rt)
 	w.curSink = ""
-	w.srv.metrics.replacements.Add(1)
+	w.eng.metrics.replacements.Add(1)
 }
 
 // finish completes every job of the group that has not already been

@@ -1,4 +1,4 @@
-package serve
+package httpapi
 
 // Deterministic overload-chaos suite for the request lifecycle:
 // deadlines and cooperative cancellation, admission control (bounded
@@ -6,17 +6,22 @@ package serve
 // per-worker circuit breaker, and graceful drain. The latency faults
 // (internal/fault's slow/stall/lag schedules) never touch computed
 // values, so the headline invariant is checkable exactly: every request
-// the server ADMITS and answers 200 returns bits identical to an
+// the engine ADMITS and answers 200 returns bits identical to an
 // unloaded run; everything else is an envelope with a stable code.
+// Breaker and retry-policy unit tests live with the engine
+// (engine/lifecycle_test.go); this file is the end-to-end view.
 
 import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/serve/engine"
 )
 
 // postEnvelope posts body with extra headers and returns the status,
@@ -59,7 +64,7 @@ func postEnvelope(t testing.TB, url string, headers map[string]string, body, out
 // TestOverloadErrorEnvelope pins the envelope contract: every non-2xx
 // reply carries {error, code, retryable} with a stable code.
 func TestOverloadErrorEnvelope(t *testing.T) {
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: 2})
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: 2})
 
 	cases := []struct {
 		name      string
@@ -71,17 +76,17 @@ func TestOverloadErrorEnvelope(t *testing.T) {
 		retryable bool
 	}{
 		{"unknown matrix", ts.URL + "/solve", nil,
-			&SolveRequest{Matrix: "nope"}, http.StatusNotFound, codeNotFound, false},
+			&engine.SolveRequest{Matrix: "nope"}, http.StatusNotFound, string(engine.CodeNotFound), false},
 		{"unknown solver", ts.URL + "/solve", nil,
-			&SolveRequest{Matrix: "eye:8", Solver: "jacobi"}, http.StatusBadRequest, codeBadRequest, false},
+			&engine.SolveRequest{Matrix: "eye:8", Solver: "jacobi"}, http.StatusBadRequest, string(engine.CodeBadRequest), false},
 		{"missing matrix", ts.URL + "/spmv", nil,
-			&SpMVRequest{}, http.StatusBadRequest, codeBadRequest, false},
+			&engine.SpMVRequest{}, http.StatusBadRequest, string(engine.CodeBadRequest), false},
 		{"bad deadline header", ts.URL + "/spmv", map[string]string{"X-Deadline": "soon"},
-			&SpMVRequest{Matrix: "eye:8"}, http.StatusBadRequest, codeBadRequest, false},
+			&engine.SpMVRequest{Matrix: "eye:8"}, http.StatusBadRequest, string(engine.CodeBadRequest), false},
 		{"wrong-length rhs", ts.URL + "/solve", nil,
-			&SolveRequest{Matrix: "eye:8", B: []float64{1, 2, 3}}, http.StatusBadRequest, codeBadRequest, false},
+			&engine.SolveRequest{Matrix: "eye:8", B: []float64{1, 2, 3}}, http.StatusBadRequest, string(engine.CodeBadRequest), false},
 		{"wrong-length x", ts.URL + "/spmv", nil,
-			&SpMVRequest{Matrix: "eye:8", X: []float64{1}}, http.StatusBadRequest, codeBadRequest, false},
+			&engine.SpMVRequest{Matrix: "eye:8", X: []float64{1}}, http.StatusBadRequest, string(engine.CodeBadRequest), false},
 	}
 	for _, tc := range cases {
 		status, env, _ := postEnvelope(t, tc.url, tc.headers, tc.body, nil)
@@ -103,24 +108,24 @@ func TestOverloadErrorEnvelope(t *testing.T) {
 // request bit-identically to an unloaded reference run. The worker is
 // reused, not replaced: cancellation is not degradation.
 func TestOverloadDeadlineCancelKeepsWorker(t *testing.T) {
-	s, ts := newTestServer(t, Config{
+	e, ts := newTestServer(t, engine.Config{
 		Pool: 1, Procs: 4, Seed: 7,
 		Faults:          "rate:0.02:2,lag:1:1ms",
 		CheckpointEvery: 16,
 	})
 
-	solve := &SolveRequest{Matrix: "poisson2d:8", Solver: "cg", MaxIter: 200, Tol: 1e-6}
+	solve := &engine.SolveRequest{Matrix: "poisson2d:8", Solver: "cg", MaxIter: 200, Tol: 1e-6}
 	status, env, _ := postEnvelope(t, ts.URL+"/solve", map[string]string{"X-Deadline": "15ms"}, solve, nil)
-	if status != http.StatusGatewayTimeout || env.Code != codeDeadline || !env.Retryable {
+	if status != http.StatusGatewayTimeout || env.Code != string(engine.CodeDeadline) || !env.Retryable {
 		t.Fatalf("deadline request: got status=%d code=%q retryable=%v, want 504 %q true",
-			status, env.Code, env.Retryable, codeDeadline)
+			status, env.Code, env.Retryable, engine.CodeDeadline)
 	}
 
 	// The follow-up (no deadline) reuses the same worker and must match
 	// the unloaded direct run exactly: latency schedules and the
 	// interrupted predecessor change when things run, never what they
 	// compute.
-	var got SolveResponse
+	var got engine.SolveResponse
 	if st := postJSON(t, ts.URL+"/solve", solve, &got); st != http.StatusOK {
 		t.Fatalf("follow-up solve: status %d", st)
 	}
@@ -135,14 +140,15 @@ func TestOverloadDeadlineCancelKeepsWorker(t *testing.T) {
 		t.Errorf("follow-up solve not bit-identical to unloaded run (max |diff| %g)", maxAbsDiff(got.X, wantX))
 	}
 
-	if n := s.metrics.cancellations.Load() + s.metrics.queueExpired.Load(); n == 0 {
+	snap := e.Metrics()
+	if n := snap.Lifecycle.Cancellations + snap.Lifecycle.QueueExpired; n == 0 {
 		t.Error("no cancellation was recorded for the deadline request")
 	}
-	if n := s.metrics.replacements.Load(); n != 0 {
+	if n := snap.Pool.Replacements; n != 0 {
 		t.Errorf("cancellation replaced %d runtimes; it must keep the worker", n)
 	}
 
-	var health HealthSnapshot
+	var health engine.HealthSnapshot
 	if st := getJSON(t, ts.URL+"/healthz", &health); st != http.StatusOK {
 		t.Fatalf("/healthz status %d", st)
 	}
@@ -155,12 +161,12 @@ func TestOverloadDeadlineCancelKeepsWorker(t *testing.T) {
 // head-of-line stall pins the worker and checks the overflow request is
 // shed with a queue_full envelope and a Retry-After.
 func TestOverloadQueueFullShed(t *testing.T) {
-	s, ts := newTestServer(t, Config{
+	e, ts := newTestServer(t, engine.Config{
 		Pool: 1, Procs: 2, MaxQueue: 1, BatchWindow: -1,
 		Faults: "stall@1:400ms", Seed: 1,
 	})
 
-	spmv := &SpMVRequest{Matrix: "eye:16"}
+	spmv := &engine.SpMVRequest{Matrix: "eye:16"}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() { // head-of-line: the first launch stalls 400ms
@@ -178,17 +184,17 @@ func TestOverloadQueueFullShed(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 
 	status, env, retryAfter := postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil)
-	if status != http.StatusServiceUnavailable || env.Code != codeQueueFull || !env.Retryable {
+	if status != http.StatusServiceUnavailable || env.Code != string(engine.CodeQueueFull) || !env.Retryable {
 		t.Fatalf("overflow request: got status=%d code=%q retryable=%v, want 503 %q true",
-			status, env.Code, env.Retryable, codeQueueFull)
+			status, env.Code, env.Retryable, engine.CodeQueueFull)
 	}
 	if retryAfter == "" {
 		t.Error("queue_full shed has no Retry-After header")
 	}
 	wg.Wait()
 
-	if got := s.metrics.shedSnapshot()[codeQueueFull]; got < 1 {
-		t.Errorf("shed_by_reason[%s] = %d, want >= 1", codeQueueFull, got)
+	if got := e.Metrics().Lifecycle.ShedByReason[string(engine.CodeQueueFull)]; got < 1 {
+		t.Errorf("shed_by_reason[%s] = %d, want >= 1", engine.CodeQueueFull, got)
 	}
 }
 
@@ -196,19 +202,19 @@ func TestOverloadQueueFullShed(t *testing.T) {
 // that burns its burst is shed 429 with a Retry-After, while another
 // tenant's bucket is untouched.
 func TestOverloadQuotaShed(t *testing.T) {
-	_, ts := newTestServer(t, Config{
+	_, ts := newTestServer(t, engine.Config{
 		Pool: 1, Procs: 2, QuotaRate: 0.5, QuotaBurst: 2,
 	})
-	spmv := &SpMVRequest{Matrix: "eye:8"}
+	spmv := &engine.SpMVRequest{Matrix: "eye:8"}
 	for i := 0; i < 2; i++ {
 		if st, env, _ := postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil); st != http.StatusOK {
 			t.Fatalf("burst request %d: status %d (%s)", i, st, env.Code)
 		}
 	}
 	status, env, retryAfter := postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil)
-	if status != http.StatusTooManyRequests || env.Code != codeOverQuota || !env.Retryable {
+	if status != http.StatusTooManyRequests || env.Code != string(engine.CodeOverQuota) || !env.Retryable {
 		t.Fatalf("over-quota request: got status=%d code=%q retryable=%v, want 429 %q true",
-			status, env.Code, env.Retryable, codeOverQuota)
+			status, env.Code, env.Retryable, engine.CodeOverQuota)
 	}
 	if retryAfter == "" {
 		t.Error("over_quota shed has no Retry-After header")
@@ -226,7 +232,7 @@ func TestOverloadQuotaShed(t *testing.T) {
 // the post-cooldown half-open probe is admitted, and its failure
 // re-opens the breaker.
 func TestOverloadBreakerLifecycle(t *testing.T) {
-	s, ts := newTestServer(t, Config{
+	e, ts := newTestServer(t, engine.Config{
 		Pool: 1, Procs: 2, BatchWindow: -1,
 		Faults: "rate:1", Seed: 3,
 		CheckpointEvery:  -1, // recovery off: every fault is sticky
@@ -234,20 +240,20 @@ func TestOverloadBreakerLifecycle(t *testing.T) {
 		BreakerThreshold: 2,
 		BreakerCooldown:  300 * time.Millisecond,
 	})
-	spmv := &SpMVRequest{Matrix: "eye:8"}
+	spmv := &engine.SpMVRequest{Matrix: "eye:8"}
 
 	// Two consecutive degradations trip the breaker.
 	for i := 0; i < 2; i++ {
 		status, env, _ := postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil)
-		if status != http.StatusServiceUnavailable || env.Code != codeDegraded || !env.Retryable {
+		if status != http.StatusServiceUnavailable || env.Code != string(engine.CodeDegraded) || !env.Retryable {
 			t.Fatalf("degrading request %d: got status=%d code=%q retryable=%v, want 503 %q true",
-				i, status, env.Code, env.Retryable, codeDegraded)
+				i, status, env.Code, env.Retryable, engine.CodeDegraded)
 		}
 	}
 
 	status, env, retryAfter := postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil)
-	if status != http.StatusServiceUnavailable || env.Code != codeBreakerOpen {
-		t.Fatalf("open-breaker request: got status=%d code=%q, want 503 %q", status, env.Code, codeBreakerOpen)
+	if status != http.StatusServiceUnavailable || env.Code != string(engine.CodeBreakerOpen) {
+		t.Fatalf("open-breaker request: got status=%d code=%q, want 503 %q", status, env.Code, engine.CodeBreakerOpen)
 	}
 	if retryAfter == "" {
 		t.Error("breaker_open shed has no Retry-After header")
@@ -255,7 +261,7 @@ func TestOverloadBreakerLifecycle(t *testing.T) {
 
 	// With the pool's only breaker open, /healthz reports the instance
 	// out of rotation.
-	var health HealthSnapshot
+	var health engine.HealthSnapshot
 	if st := getJSON(t, ts.URL+"/healthz", &health); st != http.StatusServiceUnavailable {
 		t.Fatalf("/healthz with all breakers open: status %d, want 503", st)
 	}
@@ -279,96 +285,15 @@ func TestOverloadBreakerLifecycle(t *testing.T) {
 	// breaker re-opens and the next admission sheds again.
 	time.Sleep(350 * time.Millisecond)
 	status, env, _ = postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil)
-	if status != http.StatusServiceUnavailable || env.Code != codeDegraded {
-		t.Fatalf("half-open probe: got status=%d code=%q, want 503 %q (admitted, then degraded)", status, env.Code, codeDegraded)
+	if status != http.StatusServiceUnavailable || env.Code != string(engine.CodeDegraded) {
+		t.Fatalf("half-open probe: got status=%d code=%q, want 503 %q (admitted, then degraded)", status, env.Code, engine.CodeDegraded)
 	}
 	status, env, _ = postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil)
-	if status != http.StatusServiceUnavailable || env.Code != codeBreakerOpen {
-		t.Fatalf("post-probe request: got status=%d code=%q, want 503 %q (re-opened)", status, env.Code, codeBreakerOpen)
+	if status != http.StatusServiceUnavailable || env.Code != string(engine.CodeBreakerOpen) {
+		t.Fatalf("post-probe request: got status=%d code=%q, want 503 %q (re-opened)", status, env.Code, engine.CodeBreakerOpen)
 	}
-	if trips := s.metrics.breakerTrips.Load(); trips != 2 {
+	if trips := e.Metrics().Lifecycle.BreakerTrips; trips != 2 {
 		t.Errorf("breaker trips = %d, want 2 (initial + probe failure)", trips)
-	}
-}
-
-// TestOverloadBreakerCloses exercises the unit-level close path the
-// always-fail end-to-end schedule cannot reach: a successful half-open
-// probe closes the breaker.
-func TestOverloadBreakerCloses(t *testing.T) {
-	var transitions []breakerState
-	b := newBreaker(2, 50*time.Millisecond, func(to breakerState) { transitions = append(transitions, to) })
-	now := time.Now()
-
-	if _, ok := b.allow(now); !ok {
-		t.Fatal("fresh breaker refused")
-	}
-	b.onFailure(now)
-	if _, ok := b.allow(now); !ok {
-		t.Fatal("one failure below threshold tripped the breaker")
-	}
-	b.onSuccess() // success resets the streak
-	b.onFailure(now)
-	if _, ok := b.allow(now); !ok {
-		t.Fatal("streak was not reset by success")
-	}
-	b.onFailure(now)
-	b.onFailure(now)
-	if wait, ok := b.allow(now); ok || wait <= 0 {
-		t.Fatalf("threshold reached but breaker admitted (wait=%v ok=%v)", wait, ok)
-	}
-	// Cooldown elapsed: exactly one probe is admitted.
-	later := now.Add(60 * time.Millisecond)
-	if _, ok := b.allow(later); !ok {
-		t.Fatal("post-cooldown probe refused")
-	}
-	if _, ok := b.allow(later); ok {
-		t.Fatal("second concurrent probe admitted")
-	}
-	b.onSuccess()
-	if b.snapshot() != breakerClosed {
-		t.Fatalf("successful probe left breaker %v, want closed", b.snapshot())
-	}
-	if _, ok := b.allow(later); !ok {
-		t.Fatal("closed breaker refused")
-	}
-	want := []breakerState{breakerOpen, breakerHalfOpen, breakerClosed}
-	if len(transitions) != len(want) {
-		t.Fatalf("transitions %v, want %v", transitions, want)
-	}
-	for i := range want {
-		if transitions[i] != want[i] {
-			t.Fatalf("transitions %v, want %v", transitions, want)
-		}
-	}
-}
-
-// TestOverloadRetryJitterDeterministic pins the retry policy: delays
-// are a pure function of (seed, worker, attempt), exponential, capped,
-// and jittered within [base/2, base).
-func TestOverloadRetryJitterDeterministic(t *testing.T) {
-	p := retryPolicy{attempts: 4, backoff: 2 * time.Millisecond, seed: 42}
-	for attempt := 0; attempt < 3; attempt++ {
-		base := p.backoff << uint(attempt)
-		for workerID := 0; workerID < 3; workerID++ {
-			d1 := p.delay(workerID, attempt)
-			d2 := p.delay(workerID, attempt)
-			if d1 != d2 {
-				t.Fatalf("delay(%d,%d) not deterministic: %v vs %v", workerID, attempt, d1, d2)
-			}
-			if d1 < base/2 || d1 >= base {
-				t.Errorf("delay(%d,%d) = %v outside [%v, %v)", workerID, attempt, d1, base/2, base)
-			}
-		}
-		if p.delay(0, attempt) == p.delay(1, attempt) {
-			t.Errorf("attempt %d: workers 0 and 1 share a jitter — no decorrelation", attempt)
-		}
-	}
-	// The exponential cap: huge attempts stay at ~1s.
-	if d := p.delay(0, 20); d >= time.Second {
-		t.Errorf("uncapped backoff: %v", d)
-	}
-	if (retryPolicy{}).delay(0, 0) != 0 {
-		t.Error("zero policy must not sleep")
 	}
 }
 
@@ -376,28 +301,28 @@ func TestOverloadRetryJitterDeterministic(t *testing.T) {
 // with a draining envelope, in-flight work completes, and Drain reports
 // whether the drain beat its timeout.
 func TestOverloadDrain(t *testing.T) {
-	s, ts := newTestServer(t, Config{
+	e, ts := newTestServer(t, engine.Config{
 		Pool: 1, Procs: 2, BatchWindow: -1,
 		Faults: "stall@1:300ms", Seed: 2,
 	})
-	spmv := &SpMVRequest{Matrix: "eye:16"}
+	spmv := &engine.SpMVRequest{Matrix: "eye:16"}
 
 	inflight := make(chan int, 1)
 	go func() {
-		var out SpMVResponse
+		var out engine.SpMVResponse
 		inflight <- postJSON(t, ts.URL+"/spmv", spmv, &out)
 	}()
 	time.Sleep(100 * time.Millisecond)
 
-	if s.Drain(10 * time.Millisecond) {
+	if e.Drain(10 * time.Millisecond) {
 		t.Error("Drain(10ms) reported clean with a 300ms stall in flight")
 	}
 	status, env, _ := postEnvelope(t, ts.URL+"/spmv", nil, spmv, nil)
-	if status != http.StatusServiceUnavailable || env.Code != codeDraining || !env.Retryable {
+	if status != http.StatusServiceUnavailable || env.Code != string(engine.CodeDraining) || !env.Retryable {
 		t.Fatalf("request during drain: got status=%d code=%q retryable=%v, want 503 %q true",
-			status, env.Code, env.Retryable, codeDraining)
+			status, env.Code, env.Retryable, engine.CodeDraining)
 	}
-	var health HealthSnapshot
+	var health engine.HealthSnapshot
 	if st := getJSON(t, ts.URL+"/healthz", &health); st != http.StatusServiceUnavailable {
 		t.Errorf("/healthz while draining: status %d, want 503", st)
 	}
@@ -407,7 +332,7 @@ func TestOverloadDrain(t *testing.T) {
 	if st := <-inflight; st != http.StatusOK {
 		t.Fatalf("in-flight request during drain: status %d, want 200", st)
 	}
-	if !s.Drain(2 * time.Second) {
+	if !e.Drain(2 * time.Second) {
 		t.Error("Drain did not complete after the in-flight request finished")
 	}
 }
@@ -420,7 +345,7 @@ func TestOverloadDrain(t *testing.T) {
 // faults never touch values, so admitted work is exact even when its
 // neighbors are cancelled mid-batch around it.
 func TestOverloadChaosBitIdentical(t *testing.T) {
-	s, ts := newTestServer(t, Config{
+	_, ts := newTestServer(t, engine.Config{
 		Pool: 2, Procs: 4, Seed: 11,
 		Faults:   "lag:0.15:1ms:400",
 		Deadline: 500 * time.Millisecond,
@@ -443,8 +368,8 @@ func TestOverloadChaosBitIdentical(t *testing.T) {
 	}
 
 	allowedShed := map[string]bool{
-		codeQueueFull: true, codeQueueWait: true,
-		codeDeadline: true, codeCancelled: true,
+		string(engine.CodeQueueFull): true, string(engine.CodeQueueWait): true,
+		string(engine.CodeDeadline): true, string(engine.CodeCancelled): true,
 	}
 	var mu sync.Mutex
 	outcomes := map[string]int{}
@@ -455,9 +380,9 @@ func TestOverloadChaosBitIdentical(t *testing.T) {
 			wg.Add(2)
 			go func(m string) {
 				defer wg.Done()
-				var out SolveResponse
+				var out engine.SolveResponse
 				status, env, _ := postEnvelope(t, ts.URL+"/solve",
-					nil, &SolveRequest{Matrix: m, Solver: "cg", MaxIter: 60, Tol: 1e-6}, &out)
+					nil, &engine.SolveRequest{Matrix: m, Solver: "cg", MaxIter: 60, Tol: 1e-6}, &out)
 				mu.Lock()
 				defer mu.Unlock()
 				switch status {
@@ -477,8 +402,8 @@ func TestOverloadChaosBitIdentical(t *testing.T) {
 			}(m)
 			go func(m string) {
 				defer wg.Done()
-				var out SpMVResponse
-				status, env, _ := postEnvelope(t, ts.URL+"/spmv", nil, &SpMVRequest{Matrix: m}, &out)
+				var out engine.SpMVResponse
+				status, env, _ := postEnvelope(t, ts.URL+"/spmv", nil, &engine.SpMVRequest{Matrix: m}, &out)
 				mu.Lock()
 				defer mu.Unlock()
 				switch status {
@@ -507,7 +432,7 @@ func TestOverloadChaosBitIdentical(t *testing.T) {
 	}
 
 	// Metrics coherence: the shed total equals the per-reason sum.
-	var snap MetricsSnapshot
+	var snap engine.MetricsSnapshot
 	if st := getJSON(t, ts.URL+"/metrics", &snap); st != http.StatusOK {
 		t.Fatalf("/metrics status %d", st)
 	}
@@ -518,7 +443,6 @@ func TestOverloadChaosBitIdentical(t *testing.T) {
 	if snap.Lifecycle.Sheds != sum {
 		t.Errorf("lifecycle.sheds = %d but per-reason sum = %d", snap.Lifecycle.Sheds, sum)
 	}
-	_ = s
 }
 
 // TestOverloadGoroutineLeak runs a compact lifecycle workload —
@@ -528,25 +452,29 @@ func TestOverloadGoroutineLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
 
 	func() {
-		s, ts := newTestServer(t, Config{
+		e, err := engine.New(engine.Config{
 			Pool: 2, Procs: 2, Seed: 5,
 			Faults:   "lag:0.3:1ms:100",
 			Deadline: 50 * time.Millisecond,
 			MaxQueue: 2,
 		})
+		if err != nil {
+			t.Fatalf("engine.New: %v", err)
+		}
+		ts := httptest.NewServer(Handler(e))
 		var wg sync.WaitGroup
 		for i := 0; i < 8; i++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				postEnvelope(t, ts.URL+"/solve", nil,
-					&SolveRequest{Matrix: "poisson2d:8", MaxIter: 60, Tol: 1e-6}, nil)
+					&engine.SolveRequest{Matrix: "poisson2d:8", MaxIter: 60, Tol: 1e-6}, nil)
 			}()
 		}
 		wg.Wait()
-		s.Drain(time.Second)
+		e.Drain(time.Second)
 		ts.Close()
-		s.Close()
+		e.Close()
 	}()
 	http.DefaultClient.CloseIdleConnections()
 

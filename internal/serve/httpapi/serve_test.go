@@ -1,4 +1,10 @@
-package serve
+package httpapi
+
+// End-to-end suite for the HTTP transport over the single-process
+// engine: every assertion about solver results, caching, batching, and
+// fault recovery runs through the JSON surface exactly the way a
+// client would see it. Engine-internal counters are read through the
+// typed Metrics snapshot — the transport has no private view.
 
 import (
 	"bytes"
@@ -15,23 +21,24 @@ import (
 	"repro/internal/cunumeric"
 	"repro/internal/legion"
 	"repro/internal/machine"
+	"repro/internal/serve/engine"
 	"repro/internal/solvers"
 )
 
 // ---- helpers ----------------------------------------------------------
 
-func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB, cfg engine.Config) (*engine.Engine, *httptest.Server) {
 	t.Helper()
-	s, err := NewServer(cfg)
+	e, err := engine.New(cfg)
 	if err != nil {
-		t.Fatalf("NewServer: %v", err)
+		t.Fatalf("engine.New: %v", err)
 	}
-	ts := httptest.NewServer(s.Handler())
+	ts := httptest.NewServer(Handler(e))
 	t.Cleanup(func() {
 		ts.Close()
-		s.Close()
+		e.Close()
 	})
-	return s, ts
+	return e, ts
 }
 
 // postJSON posts body and decodes the reply into out (if non-nil),
@@ -70,8 +77,8 @@ func getJSON(t testing.TB, url string, out any) int {
 	return resp.StatusCode
 }
 
-// directRuntime mirrors newPoolRuntime's CPU configuration so direct
-// solver calls are an apples-to-apples reference for server replies.
+// directRuntime mirrors the engine pool's CPU configuration so direct
+// solver calls are an apples-to-apples reference for served replies.
 func directRuntime(procs int) *legion.Runtime {
 	m := machine.New(machine.Config{Nodes: (procs + 1) / 2})
 	rt := legion.NewRuntime(m, m.Select(machine.CPU, procs))
@@ -79,22 +86,22 @@ func directRuntime(procs int) *legion.Runtime {
 	return rt
 }
 
-// directBind reproduces the server's binding path: preset triples via
+// directBind reproduces the engine's binding path: preset triples via
 // the store's builder, then FromTriples plus format conversion.
 func directBind(t testing.TB, rt *legion.Runtime, matrix, format string) core.SparseMatrix {
 	t.Helper()
-	d, err := buildPreset(matrix)
+	d, err := engine.BuildPreset(matrix)
 	if err != nil {
-		t.Fatalf("buildPreset(%s): %v", matrix, err)
+		t.Fatalf("BuildPreset(%s): %v", matrix, err)
 	}
-	mat, err := d.bind(rt, format)
+	mat, err := d.Bind(rt, format)
 	if err != nil {
 		t.Fatalf("bind(%s, %s): %v", matrix, format, err)
 	}
 	return mat
 }
 
-// directCG solves A x = 1 with CG exactly the way the server does.
+// directCG solves A x = 1 with CG exactly the way the engine does.
 func directCG(t testing.TB, procs int, matrix string, maxIter int, tol float64) ([]float64, int, bool) {
 	t.Helper()
 	rt := directRuntime(procs)
@@ -113,7 +120,7 @@ func directCG(t testing.TB, procs int, matrix string, maxIter int, tol float64) 
 	return x, res.Iterations, res.Converged
 }
 
-// directSpMV computes A @ x (x defaulting to ones) the way the server does.
+// directSpMV computes A @ x (x defaulting to ones) the way the engine does.
 func directSpMV(t testing.TB, procs int, matrix, format string, xs []float64) []float64 {
 	t.Helper()
 	rt := directRuntime(procs)
@@ -159,10 +166,10 @@ func maxAbsDiff(a, b []float64) float64 {
 
 func TestSolveMatchesDirectCG(t *testing.T) {
 	const procs = 4
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: procs})
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: procs})
 
-	var got SolveResponse
-	if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:16"}, &got); code != 200 {
+	var got engine.SolveResponse
+	if code := postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:16"}, &got); code != 200 {
 		t.Fatalf("solve status %d", code)
 	}
 	want, iters, conv := directCG(t, procs, "poisson2d:16", 200, 1e-8)
@@ -178,8 +185,8 @@ func TestSolveMatchesDirectCG(t *testing.T) {
 
 	// A second identical request must hit the binding cache and return
 	// the exact same bits.
-	var again SolveResponse
-	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:16"}, &again)
+	var again engine.SolveResponse
+	postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:16"}, &again)
 	if again.Cache != "hit" {
 		t.Fatalf("second request cache = %q, want hit", again.Cache)
 	}
@@ -190,7 +197,7 @@ func TestSolveMatchesDirectCG(t *testing.T) {
 
 func TestSpMVMatchesDirectPerFormat(t *testing.T) {
 	const procs = 4
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: procs})
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: procs})
 
 	// poisson2d:8 is 64x64 with even dimensions, so every format
 	// (including BSR with block size 2) can bind it.
@@ -199,8 +206,8 @@ func TestSpMVMatchesDirectPerFormat(t *testing.T) {
 		xs[i] = float64(i%7) - 3
 	}
 	for _, format := range []string{"csr", "dia", "bsr", "csc", "coo"} {
-		var got SpMVResponse
-		req := SpMVRequest{Matrix: "poisson2d:8", Format: format, X: xs}
+		var got engine.SpMVResponse
+		req := engine.SpMVRequest{Matrix: "poisson2d:8", Format: format, X: xs}
 		if code := postJSON(t, ts.URL+"/spmv", req, &got); code != 200 {
 			t.Fatalf("[%s] spmv status %d", format, code)
 		}
@@ -222,10 +229,10 @@ func TestSpMVMatchesDirectPerFormat(t *testing.T) {
 
 func TestEigenMatchesDirect(t *testing.T) {
 	const procs = 4
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: procs})
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: procs})
 
-	var got EigenResponse
-	req := EigenRequest{Matrix: "poisson2d:8", Iters: 30, Seed: 9}
+	var got engine.EigenResponse
+	req := engine.EigenRequest{Matrix: "poisson2d:8", Iters: 30, Seed: 9}
 	if code := postJSON(t, ts.URL+"/eigen", req, &got); code != 200 {
 		t.Fatalf("eigen status %d", code)
 	}
@@ -249,10 +256,10 @@ func TestEigenMatchesDirect(t *testing.T) {
 // ---- upload & invalidation --------------------------------------------
 
 func TestUploadReuploadInvalidatesBindings(t *testing.T) {
-	s, ts := newTestServer(t, Config{Pool: 1, Procs: 4})
+	e, ts := newTestServer(t, engine.Config{Pool: 1, Procs: 4})
 
-	diag := func(v float64) UploadRequest {
-		req := UploadRequest{Name: "m", Rows: 8, Cols: 8}
+	diag := func(v float64) engine.UploadRequest {
+		req := engine.UploadRequest{Name: "m", Rows: 8, Cols: 8}
 		for i := int64(0); i < 8; i++ {
 			req.Row = append(req.Row, i)
 			req.Col = append(req.Col, i)
@@ -264,8 +271,8 @@ func TestUploadReuploadInvalidatesBindings(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/matrix", diag(2), nil); code != 200 {
 		t.Fatalf("upload status %d", code)
 	}
-	var first SolveResponse
-	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "m"}, &first)
+	var first engine.SolveResponse
+	postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "m"}, &first)
 	for i, x := range first.X {
 		if x != 0.5 {
 			t.Fatalf("x[%d] = %v solving diag(2) x = 1, want 0.5", i, x)
@@ -278,8 +285,8 @@ func TestUploadReuploadInvalidatesBindings(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/matrix", diag(4), nil); code != 200 {
 		t.Fatalf("re-upload status %d", code)
 	}
-	var second SolveResponse
-	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "m"}, &second)
+	var second engine.SolveResponse
+	postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "m"}, &second)
 	for i, x := range second.X {
 		if x != 0.25 {
 			t.Fatalf("x[%d] = %v solving diag(4) x = 1 after re-upload, want 0.25", i, x)
@@ -288,8 +295,23 @@ func TestUploadReuploadInvalidatesBindings(t *testing.T) {
 	if second.Cache != "miss" {
 		t.Fatalf("solve after re-upload hit a stale binding (cache=%q)", second.Cache)
 	}
-	if n := s.metrics.invalidations.Load(); n < 1 {
+	if n := e.Metrics().BindingCache.Invalidations; n < 1 {
 		t.Fatalf("invalidations = %d after re-upload, want >= 1", n)
+	}
+
+	// The listing reflects the upload (satellite: GET /matrix).
+	var listing []engine.MatrixInfo
+	if code := getJSON(t, ts.URL+"/matrix", &listing); code != 200 {
+		t.Fatalf("list status %d", code)
+	}
+	found := false
+	for _, mi := range listing {
+		if mi.Name == "m" && mi.NNZ == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("uploaded matrix missing from listing: %+v", listing)
 	}
 }
 
@@ -297,7 +319,7 @@ func TestUploadReuploadInvalidatesBindings(t *testing.T) {
 
 func TestConcurrentMixedRequestsUnderFaults(t *testing.T) {
 	const procs = 4
-	_, ts := newTestServer(t, Config{
+	_, ts := newTestServer(t, engine.Config{
 		Pool:            2,
 		Procs:           procs,
 		Faults:          "rate:0.002:4",
@@ -322,22 +344,22 @@ func TestConcurrentMixedRequestsUnderFaults(t *testing.T) {
 			start.Wait() // all n requests in flight together
 			switch i % 3 {
 			case 0:
-				var got SolveResponse
-				if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:12"}, &got); code != 200 {
+				var got engine.SolveResponse
+				if code := postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:12"}, &got); code != 200 {
 					errs[i] = fmt.Errorf("solve status %d", code)
 				} else if !bitsEqual(got.X, wantSolve) {
 					errs[i] = fmt.Errorf("solve result not bit-identical to direct call")
 				}
 			case 1:
-				var got SpMVResponse
-				if code := postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "banded:48"}, &got); code != 200 {
+				var got engine.SpMVResponse
+				if code := postJSON(t, ts.URL+"/spmv", engine.SpMVRequest{Matrix: "banded:48"}, &got); code != 200 {
 					errs[i] = fmt.Errorf("spmv status %d", code)
 				} else if !bitsEqual(got.Y, wantSpMV) {
 					errs[i] = fmt.Errorf("spmv result not bit-identical to direct call")
 				}
 			default:
-				var got SpMVResponse
-				if code := postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "eye:32"}, &got); code != 200 {
+				var got engine.SpMVResponse
+				if code := postJSON(t, ts.URL+"/spmv", engine.SpMVRequest{Matrix: "eye:32"}, &got); code != 200 {
 					errs[i] = fmt.Errorf("eye spmv status %d", code)
 				} else if !bitsEqual(got.Y, wantEye) {
 					errs[i] = fmt.Errorf("eye spmv result not bit-identical to direct call")
@@ -355,11 +377,11 @@ func TestConcurrentMixedRequestsUnderFaults(t *testing.T) {
 }
 
 func TestBatchingCoalescesSameMatrixRequests(t *testing.T) {
-	s, ts := newTestServer(t, Config{Pool: 1, Procs: 4, BatchWindow: 40 * time.Millisecond})
+	e, ts := newTestServer(t, engine.Config{Pool: 1, Procs: 4, BatchWindow: 40 * time.Millisecond})
 
 	want := directSpMV(t, 4, "poisson2d:8", "csr", nil)
 	const n = 8
-	got := make([]SpMVResponse, n)
+	got := make([]engine.SpMVResponse, n)
 	var wg sync.WaitGroup
 	var start sync.WaitGroup
 	start.Add(1)
@@ -368,7 +390,7 @@ func TestBatchingCoalescesSameMatrixRequests(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			start.Wait()
-			if code := postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, &got[i]); code != 200 {
+			if code := postJSON(t, ts.URL+"/spmv", engine.SpMVRequest{Matrix: "poisson2d:8"}, &got[i]); code != 200 {
 				t.Errorf("spmv %d status %d", i, code)
 			}
 		}(i)
@@ -388,7 +410,7 @@ func TestBatchingCoalescesSameMatrixRequests(t *testing.T) {
 	if maxBatch < 2 {
 		t.Fatalf("no coalescing observed across %d concurrent same-matrix requests (max batch %d)", n, maxBatch)
 	}
-	if mb := s.metrics.maxBatch.Load(); mb < 2 {
+	if mb := e.Metrics().Batching.MaxSize; mb < 2 {
 		t.Fatalf("metrics max batch = %d, want >= 2", mb)
 	}
 }
@@ -398,7 +420,7 @@ func TestProcDeathReplacesPoolRuntime(t *testing.T) {
 	// Processor 0 (the first selected CPU) dies at the first clock
 	// boundary of every pool runtime; checkpoint recovery re-homes the
 	// in-flight epoch, the worker answers, then swaps the runtime.
-	s, ts := newTestServer(t, Config{
+	e, ts := newTestServer(t, engine.Config{
 		Pool:            1,
 		Procs:           procs,
 		Faults:          "proc@0:1ns",
@@ -407,15 +429,15 @@ func TestProcDeathReplacesPoolRuntime(t *testing.T) {
 
 	want, _, _ := directCG(t, procs, "poisson2d:12", 200, 1e-8)
 	for i := 0; i < 2; i++ {
-		var got SolveResponse
-		if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:12"}, &got); code != 200 {
+		var got engine.SolveResponse
+		if code := postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:12"}, &got); code != 200 {
 			t.Fatalf("solve %d status %d", i, code)
 		}
 		if !bitsEqual(got.X, want) {
 			t.Fatalf("solve %d after processor death is not bit-identical to the healthy direct call", i)
 		}
 	}
-	if n := s.metrics.replacements.Load(); n < 1 {
+	if n := e.Metrics().Pool.Replacements; n < 1 {
 		t.Fatalf("pool replacements = %d after processor deaths, want >= 1", n)
 	}
 }
@@ -423,13 +445,13 @@ func TestProcDeathReplacesPoolRuntime(t *testing.T) {
 // ---- endpoints & validation -------------------------------------------
 
 func TestMetricsAndProfileEndpoints(t *testing.T) {
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: 4})
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: 4})
 
-	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, nil)
-	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, nil)
-	postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, nil)
+	postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:8"}, nil)
+	postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:8"}, nil)
+	postJSON(t, ts.URL+"/spmv", engine.SpMVRequest{Matrix: "poisson2d:8"}, nil)
 
-	var m MetricsSnapshot
+	var m engine.MetricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
 		t.Fatalf("metrics status %d", code)
 	}
@@ -460,7 +482,7 @@ func TestMetricsAndProfileEndpoints(t *testing.T) {
 }
 
 func TestRequestValidation(t *testing.T) {
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: 4})
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: 4})
 
 	cases := []struct {
 		name string
@@ -468,15 +490,15 @@ func TestRequestValidation(t *testing.T) {
 		body any
 		want int
 	}{
-		{"unknown solver", "/solve", SolveRequest{Matrix: "eye:8", Solver: "qr"}, 400},
-		{"missing matrix", "/solve", SolveRequest{}, 400},
-		{"unknown preset", "/solve", SolveRequest{Matrix: "hilbert:9"}, 404},
-		{"bad format", "/spmv", SpMVRequest{Matrix: "eye:8", Format: "ellpack"}, 400},
-		{"bsr odd size", "/spmv", SpMVRequest{Matrix: "poisson2d:5", Format: "bsr"}, 400},
-		{"wrong x length", "/spmv", SpMVRequest{Matrix: "eye:8", X: []float64{1, 2}}, 400},
-		{"wrong b length", "/solve", SolveRequest{Matrix: "eye:8", B: []float64{1}}, 400},
-		{"upload length mismatch", "/matrix", UploadRequest{Name: "u", Rows: 2, Cols: 2, Row: []int64{0}, Col: []int64{0, 1}, Val: []float64{1, 2}}, 400},
-		{"upload out of bounds", "/matrix", UploadRequest{Name: "u", Rows: 2, Cols: 2, Row: []int64{5}, Col: []int64{0}, Val: []float64{1}}, 400},
+		{"unknown solver", "/solve", engine.SolveRequest{Matrix: "eye:8", Solver: "qr"}, 400},
+		{"missing matrix", "/solve", engine.SolveRequest{}, 400},
+		{"unknown preset", "/solve", engine.SolveRequest{Matrix: "hilbert:9"}, 404},
+		{"bad format", "/spmv", engine.SpMVRequest{Matrix: "eye:8", Format: "ellpack"}, 400},
+		{"bsr odd size", "/spmv", engine.SpMVRequest{Matrix: "poisson2d:5", Format: "bsr"}, 400},
+		{"wrong x length", "/spmv", engine.SpMVRequest{Matrix: "eye:8", X: []float64{1, 2}}, 400},
+		{"wrong b length", "/solve", engine.SolveRequest{Matrix: "eye:8", B: []float64{1}}, 400},
+		{"upload length mismatch", "/matrix", engine.UploadRequest{Name: "u", Rows: 2, Cols: 2, Row: []int64{0}, Col: []int64{0, 1}, Val: []float64{1, 2}}, 400},
+		{"upload out of bounds", "/matrix", engine.UploadRequest{Name: "u", Rows: 2, Cols: 2, Row: []int64{5}, Col: []int64{0}, Val: []float64{1}}, 400},
 	}
 	for _, tc := range cases {
 		if code := postJSON(t, ts.URL+tc.path, tc.body, nil); code != tc.want {
@@ -486,16 +508,16 @@ func TestRequestValidation(t *testing.T) {
 
 	// Client errors must not have burned the pool: the runtime is
 	// healthy and a well-formed request still succeeds.
-	var ok SolveResponse
-	if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "eye:8"}, &ok); code != 200 {
+	var ok engine.SolveResponse
+	if code := postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "eye:8"}, &ok); code != 200 {
 		t.Fatalf("solve after bad requests: status %d", code)
 	}
 }
 
 func TestGPUPoolSmoke(t *testing.T) {
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: 4, Kind: "gpu"})
-	var got SolveResponse
-	if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, &got); code != 200 {
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: 4, Kind: "gpu"})
+	var got engine.SolveResponse
+	if code := postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:8"}, &got); code != 200 {
 		t.Fatalf("gpu solve status %d", code)
 	}
 	if !got.Converged {
@@ -508,8 +530,8 @@ func TestGPUPoolSmoke(t *testing.T) {
 // benchServe measures one /solve request per iteration against a shared
 // server; cold flushes every cache between iterations.
 func benchServe(b *testing.B, cold bool) {
-	s, ts := newTestServer(b, Config{Pool: 1, Procs: 4, BatchWindow: -1})
-	req := SolveRequest{Matrix: "poisson2d:48", MaxIter: 1, Tol: 1e-30}
+	e, ts := newTestServer(b, engine.Config{Pool: 1, Procs: 4, BatchWindow: -1})
+	req := engine.SolveRequest{Matrix: "poisson2d:48", MaxIter: 1, Tol: 1e-30}
 
 	// Prime: materialize the preset and warm every cache once.
 	if code := postJSON(b, ts.URL+"/solve", req, nil); code != 200 {
@@ -519,7 +541,7 @@ func benchServe(b *testing.B, cold bool) {
 	for i := 0; i < b.N; i++ {
 		if cold {
 			b.StopTimer()
-			s.FlushCaches()
+			e.FlushCaches()
 			b.StartTimer()
 		}
 		if code := postJSON(b, ts.URL+"/solve", req, nil); code != 200 {
@@ -534,20 +556,20 @@ func BenchmarkServeWarmCG(b *testing.B) { benchServe(b, false) }
 // ---- autotuner --------------------------------------------------------
 
 // TestTuneEndpoint: /tune reports per-binding learned state after the
-// server has handled enough traffic for the tuner to observe launches,
+// engine has handled enough traffic for the tuner to observe launches,
 // and NoTune pins every binding to the static mapper.
 func TestTuneEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{Pool: 1, Procs: 4})
+	_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: 4})
 
 	// Enough SpMVs on one binding for variant arms to accumulate picks.
 	for i := 0; i < 4; i++ {
-		if code := postJSON(t, ts.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, nil); code != 200 {
+		if code := postJSON(t, ts.URL+"/spmv", engine.SpMVRequest{Matrix: "poisson2d:8"}, nil); code != 200 {
 			t.Fatalf("spmv status %d", code)
 		}
 	}
-	postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, nil)
+	postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:8"}, nil)
 
-	var snap TuneSnapshot
+	var snap engine.TuneSnapshot
 	if code := getJSON(t, ts.URL+"/tune", &snap); code != 200 {
 		t.Fatalf("tune status %d", code)
 	}
@@ -569,9 +591,9 @@ func TestTuneEndpoint(t *testing.T) {
 	}
 
 	// A NoTune server still serves /tune but every tuner is disabled.
-	_, ts2 := newTestServer(t, Config{Pool: 1, Procs: 4, NoTune: true})
-	postJSON(t, ts2.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, nil)
-	var snap2 TuneSnapshot
+	_, ts2 := newTestServer(t, engine.Config{Pool: 1, Procs: 4, NoTune: true})
+	postJSON(t, ts2.URL+"/spmv", engine.SpMVRequest{Matrix: "poisson2d:8"}, nil)
+	var snap2 engine.TuneSnapshot
 	if code := getJSON(t, ts2.URL+"/tune", &snap2); code != 200 {
 		t.Fatalf("tune status %d", code)
 	}
@@ -591,15 +613,15 @@ func TestTuneEndpoint(t *testing.T) {
 func TestTunedServeBitIdenticalToNoTune(t *testing.T) {
 	const procs = 4
 	run := func(noTune bool) ([]float64, float64) {
-		_, ts := newTestServer(t, Config{Pool: 1, Procs: procs, NoTune: noTune})
-		var sol SolveResponse
+		_, ts := newTestServer(t, engine.Config{Pool: 1, Procs: procs, NoTune: noTune})
+		var sol engine.SolveResponse
 		for i := 0; i < 3; i++ {
-			if code := postJSON(t, ts.URL+"/solve", SolveRequest{Matrix: "poisson2d:8"}, &sol); code != 200 {
+			if code := postJSON(t, ts.URL+"/solve", engine.SolveRequest{Matrix: "poisson2d:8"}, &sol); code != 200 {
 				t.Fatalf("solve status %d", code)
 			}
 		}
-		var eig EigenResponse
-		if code := postJSON(t, ts.URL+"/eigen", EigenRequest{Matrix: "poisson2d:8", Iters: 30, Seed: 9}, &eig); code != 200 {
+		var eig engine.EigenResponse
+		if code := postJSON(t, ts.URL+"/eigen", engine.EigenRequest{Matrix: "poisson2d:8", Iters: 30, Seed: 9}, &eig); code != 200 {
 			t.Fatalf("eigen status %d", code)
 		}
 		return sol.X, eig.Eigenvalue
@@ -614,28 +636,28 @@ func TestTunedServeBitIdenticalToNoTune(t *testing.T) {
 	}
 }
 
-// TestScopedPlanCacheIsolation: two servers in one process share the
+// TestScopedPlanCacheIsolation: two engines in one process share the
 // global kernel registry but report their own plan-cache traffic — the
-// second server's counters start at zero no matter how much the first
+// second engine's counters start at zero no matter how much the first
 // one has served (the satellite fix for process-global counters).
 func TestScopedPlanCacheIsolation(t *testing.T) {
-	_, ts1 := newTestServer(t, Config{Pool: 1, Procs: 4})
+	_, ts1 := newTestServer(t, engine.Config{Pool: 1, Procs: 4})
 	for i := 0; i < 3; i++ {
-		postJSON(t, ts1.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, nil)
+		postJSON(t, ts1.URL+"/spmv", engine.SpMVRequest{Matrix: "poisson2d:8"}, nil)
 	}
-	var m1 MetricsSnapshot
+	var m1 engine.MetricsSnapshot
 	getJSON(t, ts1.URL+"/metrics", &m1)
 	if m1.PlanCache.Hits == 0 {
 		t.Fatal("first server recorded no plan-cache hits")
 	}
 
-	_, ts2 := newTestServer(t, Config{Pool: 1, Procs: 4})
-	var m2 MetricsSnapshot
+	_, ts2 := newTestServer(t, engine.Config{Pool: 1, Procs: 4})
+	var m2 engine.MetricsSnapshot
 	getJSON(t, ts2.URL+"/metrics", &m2)
 	if m2.PlanCache.Hits != 0 || m2.PlanCache.Misses != 0 {
 		t.Fatalf("idle second server inherited plan-cache traffic: %+v", m2.PlanCache)
 	}
-	postJSON(t, ts2.URL+"/spmv", SpMVRequest{Matrix: "poisson2d:8"}, nil)
+	postJSON(t, ts2.URL+"/spmv", engine.SpMVRequest{Matrix: "poisson2d:8"}, nil)
 	getJSON(t, ts2.URL+"/metrics", &m2)
 	if m2.PlanCache.Hits == 0 {
 		t.Fatal("second server's own traffic not counted")

@@ -1,0 +1,133 @@
+package shard
+
+// Matrix partitioning for the scatter/gather plane. A matrix is cut
+// into nnz-balanced contiguous row blocks whose boundaries are
+// QUANTIZED to the engine's dot-reduction tiles: the runtime reduces a
+// dot product as one partial per Tile(n, procs) block folded in block
+// order (legion's completeLaunch), so as long as every shard owns whole
+// tiles, the coordinator can replay that exact fold host-side and a
+// sharded CG stays bit-identical to a single-process solve. The greedy
+// cut itself is core.BalancedCuts — the same cut the balanced SpMV
+// mapper uses.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/serve/engine"
+)
+
+// blockGroup is one shard-resident row block: a contiguous run of
+// reduction tiles, its localized COO triples, and its replica set.
+type blockGroup struct {
+	rows   geometry.Rect // global row range (EmptyRect when unpopulated)
+	cols   int64         // full column width (x scatters unchanged)
+	owners []int         // shard replicas, primary first
+	name   string        // content-addressed block matrix name on the engines
+	nnz    int64
+
+	// Localized triples (rows rebased to the block, full column width):
+	// uploading raw per-block triples is safe because the engine
+	// canonicalizes at bind time, and per-block canonicalization equals
+	// the global canonicalization restricted to the block's rows.
+	row []int64
+	col []int64
+	val []float64
+}
+
+// plan is the cached distribution of one matrix fingerprint: its
+// reduction tiles, the shard groups, and the row→group map.
+type plan struct {
+	fp       core.Fingerprint
+	n        int64 // rows
+	cols     int64
+	tiles    []geometry.Rect // Tile(n, procs): the dot-reduction partials
+	tileTo   []int           // owning group per tile
+	groups   []*blockGroup
+	rowGroup []int32 // owning group per row
+}
+
+// buildPlan cuts def into shards nnz-balanced tile-aligned groups and
+// places each on the ring by the matrix fingerprint salted with the
+// block index.
+func buildPlan(def *engine.MatrixDef, procs, shards, replicas int, r *ring) *plan {
+	n := def.Rows
+	p := &plan{fp: def.FP, n: n, cols: def.Cols}
+	p.tiles = geometry.Tile(geometry.NewRect(0, n-1), procs)
+
+	// Per-row nnz, then per-tile weight.
+	rowNNZ := make([]int64, n)
+	for _, ri := range def.Row {
+		rowNNZ[ri]++
+	}
+	weights := make([]int64, len(p.tiles))
+	for t, tile := range p.tiles {
+		if tile.Empty() {
+			continue
+		}
+		for i := tile.Lo; i <= tile.Hi; i++ {
+			weights[t] += rowNNZ[i]
+		}
+	}
+
+	// Greedy nnz-balanced cut over TILES (not rows): block boundaries
+	// stay tile-aligned by construction.
+	cuts := core.BalancedCuts(weights, shards)
+	p.tileTo = make([]int, len(p.tiles))
+	p.rowGroup = make([]int32, n)
+	for g, cut := range cuts {
+		grp := &blockGroup{rows: geometry.EmptyRect, cols: def.Cols}
+		if !cut.Empty() {
+			for t := cut.Lo; t <= cut.Hi; t++ {
+				p.tileTo[t] = g
+				tile := p.tiles[t]
+				if tile.Empty() {
+					continue
+				}
+				if grp.rows.Empty() {
+					grp.rows = tile
+				} else {
+					grp.rows = geometry.NewRect(grp.rows.Lo, tile.Hi)
+				}
+			}
+		}
+		if !grp.rows.Empty() {
+			for i := grp.rows.Lo; i <= grp.rows.Hi; i++ {
+				p.rowGroup[i] = int32(g)
+			}
+			grp.owners = r.place(uint64(def.FP)^splitmix64(uint64(g)), replicas)
+			grp.name = fmt.Sprintf("%s#b%d@%016x", def.Name, g, uint64(def.FP))
+		}
+		p.groups = append(p.groups, grp)
+	}
+
+	// One pass over the triples to localize each into its group.
+	for i := range def.Row {
+		g := p.groups[p.rowGroup[def.Row[i]]]
+		g.row = append(g.row, def.Row[i]-g.rows.Lo)
+		g.col = append(g.col, def.Col[i])
+		g.val = append(g.val, def.Val[i])
+		g.nnz++
+	}
+	return p
+}
+
+// fold replays the runtime's dot-product reduction host-side: one
+// partial per reduction tile, each accumulated ascending from zero,
+// folded in tile order from zero — exactly cn.dot's per-point kernel
+// plus completeLaunch's point-order sum, so the result is bit-identical
+// to cunumeric.Dot on a single-process engine.
+func (p *plan) fold(a, b []float64) float64 {
+	var sum float64
+	for _, tile := range p.tiles {
+		var s float64
+		if !tile.Empty() {
+			for i := tile.Lo; i <= tile.Hi; i++ {
+				s += a[i] * b[i]
+			}
+		}
+		sum += s
+	}
+	return sum
+}

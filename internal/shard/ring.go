@@ -1,0 +1,73 @@
+package shard
+
+// Consistent-hash placement: row blocks land on engines by hashing
+// their content fingerprint onto a ring of virtual nodes. Placement is
+// a pure function of (fingerprint, shard count, vnode count), so every
+// coordinator replays the same layout for the same contents, and a
+// re-upload (new fingerprint) naturally relocates its blocks.
+
+import "sort"
+
+// splitmix64 is the repo's standard avalanche hash (the same mix the
+// fault injector and retry jitter use).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ring is a consistent-hash ring over shard indices.
+type ring struct {
+	hashes []uint64 // sorted vnode positions
+	owner  []int    // shard index per vnode, parallel to hashes
+	shards int
+}
+
+// newRing builds a ring of vnodes virtual nodes per shard.
+func newRing(shards, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{shards: shards}
+	type vn struct {
+		h uint64
+		s int
+	}
+	all := make([]vn, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			all = append(all, vn{splitmix64(uint64(s)<<20 ^ uint64(v) ^ 0xd1b54a32d192ed03), s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].h < all[j].h })
+	for _, n := range all {
+		r.hashes = append(r.hashes, n.h)
+		r.owner = append(r.owner, n.s)
+	}
+	return r
+}
+
+// place returns up to replicas distinct shards for key, walking the
+// ring clockwise from the key's position. The first entry is the
+// primary; the rest are the failover order.
+func (r *ring) place(key uint64, replicas int) []int {
+	if replicas > r.shards {
+		replicas = r.shards
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	h := splitmix64(key)
+	i := sort.Search(len(r.hashes), func(j int) bool { return r.hashes[j] >= h })
+	out := make([]int, 0, replicas)
+	seen := make([]bool, r.shards)
+	for n := 0; n < len(r.owner) && len(out) < replicas; n++ {
+		s := r.owner[(i+n)%len(r.owner)]
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package shard
+
+// The distributed execution paths. The coordinator runs the SOLVER
+// LOOP host-side — the exact statement sequence of solvers.CG and
+// solvers.PowerIteration — and delegates only SpMV to the shard
+// engines as scatter/gather block requests. Every arithmetic statement
+// here mirrors a cunumeric kernel expression one-for-one (axpy ↔
+// cn.axpy, axpby ↔ cn.axpby, scale ↔ cn.scale, dot ↔ plan.fold ↔
+// cn.dot + completeLaunch), so the floating-point result of a sharded
+// solve is bit-identical to a single-process engine's.
+//
+// Anything the plane does not distribute — non-CG solvers (their
+// recurrences interleave kernels the plane doesn't replay), non-CSR
+// formats — passes through whole to the matrix fingerprint's ring
+// owner, keeping every request answerable.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cunumeric"
+	"repro/internal/geometry"
+	"repro/internal/serve/engine"
+)
+
+// Host-side kernel mirrors. Each body is the cunumeric element kernel
+// verbatim, applied over the full vector (one index space, no tiling
+// — these kernels carry no cross-element reduction, so order is
+// irrelevant to bit-identity; only dot needs the tiled fold).
+
+// axpy: y += a*x (cn.axpy).
+func axpy(a float64, x, y []float64) {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// axpby: y = a*x + b*y (cn.axpby).
+func axpby(a, b float64, x, y []float64) {
+	for i := range y {
+		y[i] = a*x[i] + b*y[i]
+	}
+}
+
+// scale: v *= s (cn.scale).
+func scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// ones is the engines' default operand (Ones array).
+func ones(n int64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// distributable reports whether a request can take the scatter/gather
+// path: the plane replays CSR SpMV and the CG/power-iteration loops
+// only.
+func distributableFormat(format string) bool {
+	return format == "" || format == "csr"
+}
+
+// SpMV computes y = A @ x by scatter/gather when the format is CSR,
+// and passes the whole request through otherwise.
+func (c *Coordinator) SpMV(ctx context.Context, req *engine.SpMVRequest) (*engine.SpMVResponse, error) {
+	start := time.Now()
+	ctx, cancel, d, err := c.admit(ctx, req.Meta, req.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	if !distributableFormat(req.Format) {
+		return passthrough(c, ctx, d, func(e engine.Backend) (*engine.SpMVResponse, error) {
+			return e.SpMV(ctx, req)
+		})
+	}
+	x := req.X
+	if len(x) == 0 {
+		x = ones(d.Cols)
+	} else if int64(len(x)) != d.Cols {
+		return nil, badRequest(fmt.Errorf("x has %d entries, matrix has %d columns", len(x), d.Cols))
+	}
+	p, hit := c.planFor(d)
+	y := make([]float64, d.Rows)
+	if err := c.distSpMV(ctx, p, y, x); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctxError(ctx)
+		}
+		return nil, err
+	}
+	return &engine.SpMVResponse{
+		Y: y, Cache: cacheWord(hit), Worker: -1,
+		LatencyNS: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// Solve runs CG distributed (the scatter/gather showcase) and passes
+// other solvers through whole.
+func (c *Coordinator) Solve(ctx context.Context, req *engine.SolveRequest) (*engine.SolveResponse, error) {
+	start := time.Now()
+	solver := req.Solver
+	if solver == "" {
+		solver = "cg"
+	}
+	switch solver {
+	case "cg", "cgs", "bicg", "bicgstab", "gmres":
+	default:
+		return nil, badRequest(fmt.Errorf("unknown solver %q", solver))
+	}
+	ctx, cancel, d, err := c.admit(ctx, req.Meta, req.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	if solver != "cg" || !distributableFormat(req.Format) {
+		return passthrough(c, ctx, d, func(e engine.Backend) (*engine.SolveResponse, error) {
+			return e.Solve(ctx, req)
+		})
+	}
+	tol := req.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	maxIter := req.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	b := req.B
+	if len(b) == 0 {
+		b = ones(d.Rows)
+	} else if int64(len(b)) != d.Rows {
+		return nil, badRequest(fmt.Errorf("b has %d entries, matrix has %d rows", len(b), d.Rows))
+	}
+	p, hit := c.planFor(d)
+	resp, err := c.distCG(ctx, p, b, tol, maxIter)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctxError(ctx)
+		}
+		return nil, err
+	}
+	resp.Cache = cacheWord(hit)
+	resp.Worker = -1
+	resp.LatencyNS = time.Since(start).Nanoseconds()
+	return resp, nil
+}
+
+// distCG is solvers.CG statement-for-statement, with SpMVInto replaced
+// by the scatter/gather plane and every Dot/AXPY/AXPBY replaced by its
+// exact host mirror.
+func (c *Coordinator) distCG(ctx context.Context, p *plan, b []float64, tol float64, maxIter int) (*engine.SolveResponse, error) {
+	n := p.n
+	x := make([]float64, n)            // Zeros
+	r := append([]float64(nil), b...)  // Copy(b)
+	pv := append([]float64(nil), r...) // Copy(r)
+	ap := make([]float64, n)           // Zeros
+	rs := c.dot(p, r, r)               // Dot(r, r)
+
+	resp := &engine.SolveResponse{}
+	var lastResidual float64
+	haveResidual := false
+	for it := 0; it < maxIter; it++ {
+		if ctx.Err() != nil {
+			return nil, ctxError(ctx)
+		}
+		if err := c.distSpMV(ctx, p, ap, pv); err != nil { // SpMVInto(ap, p)
+			return nil, err
+		}
+		pap := c.dot(p, pv, ap)
+		if pap == 0 { // breakdown
+			break
+		}
+		alpha := rs / pap
+		axpy(alpha, pv, x)  // AXPY(alpha, p, x)
+		axpy(-alpha, ap, r) // AXPY(-alpha, ap, r)
+		rsNew := c.dot(p, r, r)
+		nrm := math.Sqrt(rsNew)
+		resp.Iterations = it + 1
+		lastResidual, haveResidual = nrm, true
+		if math.IsNaN(nrm) || math.IsInf(nrm, 0) { // breakdown
+			break
+		}
+		if nrm < tol {
+			resp.Converged = true
+			break
+		}
+		axpby(1, rsNew/rs, r, pv) // AXPBY(1, r, rsNew/rs, p)
+		rs = rsNew
+	}
+	if haveResidual {
+		resp.Residual = lastResidual
+	}
+	resp.X = x
+	return resp, nil
+}
+
+// Eigen runs power iteration distributed for CSR and passes other
+// formats through whole.
+func (c *Coordinator) Eigen(ctx context.Context, req *engine.EigenRequest) (*engine.EigenResponse, error) {
+	start := time.Now()
+	ctx, cancel, d, err := c.admit(ctx, req.Meta, req.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	if !distributableFormat(req.Format) {
+		return passthrough(c, ctx, d, func(e engine.Backend) (*engine.EigenResponse, error) {
+			return e.Eigen(ctx, req)
+		})
+	}
+	iters := req.Iters
+	if iters <= 0 {
+		iters = 50
+	}
+	p, hit := c.planFor(d)
+	lambda, vec, err := c.distEigen(ctx, p, iters, req.Seed)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctxError(ctx)
+		}
+		return nil, err
+	}
+	return &engine.EigenResponse{
+		Eigenvalue: lambda, Vector: vec, Cache: cacheWord(hit), Worker: -1,
+		LatencyNS: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// distEigen is solvers.PowerIteration statement-for-statement.
+func (c *Coordinator) distEigen(ctx context.Context, p *plan, iters int, seed uint64) (float64, []float64, error) {
+	n := p.n
+	x := make([]float64, n) // Random(rt, n, seed)
+	for i := range x {
+		x[i] = cunumeric.Uniform01(seed, uint64(i))
+	}
+	y := make([]float64, n) // Zeros
+	for i := 0; i < iters; i++ {
+		if ctx.Err() != nil {
+			return 0, nil, ctxError(ctx)
+		}
+		if err := c.distSpMV(ctx, p, y, x); err != nil { // SpMVInto(y, x)
+			return 0, nil, err
+		}
+		nrm := math.Sqrt(c.dot(p, y, y)) // Norm(y)
+		if nrm == 0 {
+			break
+		}
+		scale(y, 1/nrm) // y.Scale(1 / nrm)
+		x, y = y, x
+	}
+	if err := c.distSpMV(ctx, p, y, x); err != nil { // SpMVInto(y, x)
+		return 0, nil, err
+	}
+	lambda := c.dot(p, x, y) // Dot(x, y)
+	return lambda, x, nil
+}
+
+// cacheWord spells a plan-cache outcome the way engine responses do.
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// passthrough routes a whole request to the matrix fingerprint's ring
+// owner, pushing the full matrix first when it was uploaded (presets
+// materialize identically from their name on any engine). Generic over
+// the response type so each endpoint keeps its own call.
+func passthrough[R any](c *Coordinator, ctx context.Context, d *engine.MatrixDef, call func(engine.Backend) (*R, error)) (*R, error) {
+	shard := c.ring.place(uint64(d.FP), 1)[0]
+	if d.Preset == "" {
+		g := &blockGroup{
+			rows: geometry.NewRect(0, d.Rows-1), cols: d.Cols,
+			name: d.Name, row: d.Row, col: d.Col, val: d.Val,
+		}
+		if err := c.ensurePassthroughCopy(ctx, shard, d, g); err != nil {
+			return nil, err
+		}
+	}
+	c.stats[shard].passthrough.Add(1)
+	return call(c.engines[shard])
+}
+
+// ensurePassthroughCopy pushes an uploaded matrix whole to one shard,
+// keyed by revision so a re-upload re-pushes.
+func (c *Coordinator) ensurePassthroughCopy(ctx context.Context, shard int, d *engine.MatrixDef, g *blockGroup) error {
+	key := fmt.Sprintf("%d/%s@%016x#r%d", shard, d.Name, uint64(d.FP), d.Revision)
+	c.mu.Lock()
+	done := c.pushed[key]
+	c.mu.Unlock()
+	if done {
+		return nil
+	}
+	_, err := c.engines[shard].Upload(ctx, &engine.UploadRequest{
+		Name: g.name, Rows: d.Rows, Cols: g.cols,
+		Row: g.row, Col: g.col, Val: g.val,
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.pushed[key] = true
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check_boundary.sh enforces the engine/transport split: the solver
+# engine (internal/serve/engine), the loopback transport's engine side
+# (internal/serve/loopback), and the shard coordinator (internal/shard)
+# must stay wire-format agnostic — no net/http, no encoding/json.
+# Transports own marshalling; everything below them speaks the typed
+# Request/Response API only. The check reads the compiler's view of
+# each package's imports (go list), not source text, so commented-out
+# or build-tagged imports cannot slip through.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for pkg in ./internal/serve/engine ./internal/serve/loopback ./internal/shard; do
+    bad=$(go list -f '{{range .Imports}}{{.}}
+{{end}}' "$pkg" | grep -x -e 'net/http' -e 'encoding/json' || true)
+    if [ -n "$bad" ]; then
+        echo "boundary violation: $pkg imports:"
+        echo "$bad" | sed 's/^/    /'
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "engine and shard packages must not import net/http or encoding/json;"
+    echo "marshalling belongs to a transport (internal/serve/httpapi)."
+    exit 1
+fi
+echo "boundary check ok: engine/shard packages are transport-free"
